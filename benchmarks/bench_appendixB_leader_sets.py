@@ -1,0 +1,31 @@
+"""Appendix B — leader-set detection and adaptive (set-dueling) behaviour.
+
+* ``test_leader_set_detection`` scans a window of L3 set indexes with a
+  thrashing query and checks that the detected thrash-vulnerable sets agree
+  with the paper's index formula for Skylake / Kaby Lake.
+* ``test_follower_adaptivity`` shows that thrashing the leader sets flips the
+  follower sets to the thrash-resistant policy — the cross-set adaptivity
+  the paper describes.
+"""
+
+from conftest import run_once
+
+from repro.experiments.leader_sets import detect_leader_sets, follower_adaptivity
+
+
+def test_leader_set_detection(benchmark):
+    detection = run_once(benchmark, detect_leader_sets, set_indexes=range(0, 72), repetitions=4)
+    assert 0 in detection.detected_leaders
+    assert 33 in detection.detected_leaders
+    assert detection.formula_agreement >= 0.9
+    benchmark.extra_info["detected_leaders"] = list(detection.detected_leaders)
+    benchmark.extra_info["formula_leaders"] = list(detection.formula_leaders)
+    benchmark.extra_info["agreement"] = round(detection.formula_agreement, 3)
+
+
+def test_follower_adaptivity(benchmark):
+    result = run_once(benchmark, follower_adaptivity, leader_pressure_rounds=200)
+    assert result.became_resistant
+    benchmark.extra_info["follower_set"] = result.follower_set
+    benchmark.extra_info["miss_rate_before"] = result.miss_rate_before
+    benchmark.extra_info["miss_rate_after"] = result.miss_rate_after

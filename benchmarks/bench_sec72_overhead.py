@@ -1,0 +1,36 @@
+"""Section 7.2 — the cost of learning from hardware.
+
+Two benchmarks:
+
+* ``test_overhead_simulated_vs_cachequery`` learns the same PLRU policy from
+  a software-simulated cache and through the full CacheQuery stack and
+  reports the slowdown factor (the paper reports ~1500x for PLRU-8 against a
+  fully cached backend; the exact factor is environment-specific, what must
+  hold is the orders-of-magnitude gap).
+* ``test_mbl_query_latency_per_level`` measures the mean latency of the
+  eviction-probing query ``@ X _?`` on L1, L2 and L3 (the paper reports
+  16 ms / 11 ms / 20 ms on the Skylake part).
+"""
+
+import pytest
+
+from conftest import run_once
+
+from repro.experiments.overhead import mbl_query_latency, simulated_vs_cachequery_overhead
+
+
+def test_overhead_simulated_vs_cachequery(benchmark):
+    result = run_once(benchmark, simulated_vs_cachequery_overhead, "PLRU", 4)
+    assert result.simulated_states == result.cachequery_states == 8
+    assert result.overhead_factor > 1
+    benchmark.extra_info["simulated_seconds"] = round(result.simulated_seconds, 4)
+    benchmark.extra_info["cachequery_seconds"] = round(result.cachequery_seconds, 4)
+    benchmark.extra_info["overhead_factor"] = round(result.overhead_factor, 1)
+
+
+@pytest.mark.parametrize("executions", [10])
+def test_mbl_query_latency_per_level(benchmark, executions):
+    latencies = run_once(benchmark, mbl_query_latency, executions=executions, repetitions=3)
+    assert set(latencies) == {"L1", "L2", "L3"}
+    for level, seconds in latencies.items():
+        benchmark.extra_info[f"{level}_query_ms"] = round(seconds * 1000, 3)

@@ -1,0 +1,55 @@
+"""Table 4 — learning policies from (simulated) hardware through CacheQuery.
+
+Each benchmark runs the complete hardware pipeline — CacheQuery backend on a
+simulated CPU, MBL queries, Polca, learner — for one (CPU, cache level)
+target and checks that the identified policy matches the one the paper
+reports (PLRU on the L1s and Haswell's L2, New1 on Skylake/Kaby Lake L2,
+New2 on the L3 leader sets).  The fast profile shrinks the associativity to
+2 (via CAT for the L3s and a reduced profile for L1/L2); the policies, set
+selection, reset sequences and the whole measurement stack are identical to
+the paper-sized run (``repro-experiments table4 --mode standard|full``).
+
+Haswell's L3 is reported as not learnable (no CAT support), as in the paper.
+"""
+
+import pytest
+
+from conftest import run_once
+
+from repro.experiments.table4 import (
+    Table4Configuration,
+    run_table4_configuration,
+    table4_configurations,
+)
+
+FAST_CONFIGURATIONS = [c for c in table4_configurations("fast") if c.learnable]
+UNLEARNABLE = [c for c in table4_configurations("fast") if not c.learnable]
+
+
+@pytest.mark.parametrize(
+    "configuration",
+    FAST_CONFIGURATIONS,
+    ids=[f"{c.cpu}-{c.level}" for c in FAST_CONFIGURATIONS],
+)
+def test_table4_hardware_learning(benchmark, configuration):
+    row = run_once(benchmark, run_table4_configuration, configuration)
+    assert row.identified_policy == row.paper_policy
+    assert row.learned_states is not None and row.learned_states >= 2
+    benchmark.extra_info["cpu"] = row.cpu
+    benchmark.extra_info["level"] = row.level
+    benchmark.extra_info["identified_policy"] = row.identified_policy
+    benchmark.extra_info["learned_states"] = row.learned_states
+    benchmark.extra_info["paper_states_at_full_associativity"] = row.paper_states
+    benchmark.extra_info["reset"] = row.reset
+    benchmark.extra_info["note"] = row.note
+
+
+@pytest.mark.parametrize(
+    "configuration", UNLEARNABLE, ids=[f"{c.cpu}-{c.level}" for c in UNLEARNABLE]
+)
+def test_table4_unlearnable_targets_are_reported(benchmark, configuration):
+    """Haswell's L3 cannot be learned (no CAT), matching the paper's '–' entries."""
+    row = run_once(benchmark, run_table4_configuration, configuration)
+    assert row.learned_states is None
+    assert row.identified_policy is None
+    benchmark.extra_info["skip_reason"] = row.note

@@ -1,0 +1,47 @@
+"""Table 5 — synthesizing policy explanations at associativity 4.
+
+Each benchmark synthesizes an explanation for one policy and checks that the
+template class (Simple vs Extended, or failure for PLRU) matches the paper.
+The three slowest searches (SRRIP-HP, SRRIP-FP, New2 — roughly a minute
+each here, days for the paper's Sketch runs) are excluded from the fast
+profile and covered by ``repro-experiments table5 --mode full``.
+"""
+
+import pytest
+
+from conftest import run_once
+
+from repro.errors import SynthesisError
+from repro.experiments.table5 import PAPER_TABLE5_TEMPLATE
+from repro.policies.registry import make_policy
+from repro.synthesis.synthesizer import SynthesisConfig, explain_policy
+
+FAST_POLICIES = ["FIFO", "LRU", "LIP", "MRU", "NEW1"]
+
+
+@pytest.mark.parametrize("policy_name", FAST_POLICIES)
+def test_table5_synthesis(benchmark, policy_name):
+    policy = make_policy(policy_name, 4)
+    result = run_once(
+        benchmark, explain_policy, policy, config=SynthesisConfig(max_seconds=600)
+    )
+    assert result.template == PAPER_TABLE5_TEMPLATE[policy_name]
+    synthesized = result.program.as_policy().to_mealy(max_states=5000).minimize()
+    assert synthesized.equivalent(policy.to_mealy().minimize())
+    benchmark.extra_info["template"] = result.template
+    benchmark.extra_info["machine_states"] = result.machine_states
+    benchmark.extra_info["candidates"] = result.miss_candidates + result.promotion_candidates
+
+
+def test_table5_plru_is_not_explainable(benchmark):
+    """PLRU's global tree state is outside the template, as in the paper."""
+
+    def attempt():
+        try:
+            explain_policy(make_policy("PLRU", 4), config=SynthesisConfig(max_seconds=120))
+        except SynthesisError as error:
+            return str(error)
+        raise AssertionError("PLRU unexpectedly synthesized")
+
+    message = run_once(benchmark, attempt)
+    assert "template" in message

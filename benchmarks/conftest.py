@@ -1,0 +1,14 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark exercises one of the paper's tables/figures in its ``fast``
+profile (see DESIGN.md §4 and EXPERIMENTS.md).  The heavyweight runs are
+executed exactly once per benchmark (``pedantic`` mode) because a single
+learning or synthesis run already takes seconds and is fully deterministic.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Benchmark ``function`` with a single round/iteration and return its result."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

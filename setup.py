@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` keeps working on minimal offline environments that ship
+setuptools without the ``wheel`` package (where PEP 660 editable builds fail
+with ``invalid command 'bdist_wheel'``).
+"""
+
+from setuptools import setup
+
+setup()

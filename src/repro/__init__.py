@@ -1,0 +1,28 @@
+"""repro — a reproduction of *CacheQuery: Learning Replacement Policies from
+Hardware Caches* (Vila, Ganty, Guarnieri, Köpf; PLDI 2020).
+
+The package is organised as the paper's pipeline (Figure 1):
+
+``repro.policies`` / ``repro.cache``
+    Replacement policies and the cache substrates they drive (software
+    simulated caches and a full multi-level hierarchy).
+``repro.hardware``
+    Simulated silicon CPUs (Haswell / Skylake / Kaby Lake profiles) with a
+    timing model, noise, slicing, adaptive L3 sets and CAT — the stand-in for
+    the paper's real hardware.
+``repro.mbl`` / ``repro.cachequery``
+    The MemBlockLang DSL and the CacheQuery frontend/backend that expose a
+    single cache set as a hit/miss oracle.
+``repro.polca`` / ``repro.learning``
+    The Polca abstraction (Algorithm 1) and the Mealy-machine learner
+    (observation-table L* plus Wp-method conformance testing) that together
+    learn replacement policies.
+``repro.synthesis``
+    Template-based synthesis of human-readable policy explanations.
+``repro.experiments``
+    The harness regenerating every table and figure of the evaluation.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,13 @@
+"""Applications of learned policy models.
+
+The paper's discussion (§10, *Security*) points out that precise policy
+models make it possible to *systematically compute optimal eviction
+strategies* — the access patterns cache attacks need.  This package provides
+that downstream application: given any replacement policy (hand-written,
+learned, or synthesized), compute minimal access sequences that evict a
+chosen victim block.
+"""
+
+from repro.analysis.eviction import EvictionStrategy, optimal_eviction_strategy
+
+__all__ = ["EvictionStrategy", "optimal_eviction_strategy"]

@@ -1,0 +1,208 @@
+"""A single cache set driven by a replacement policy (Definition 2.3).
+
+Two classes live here:
+
+* :class:`CacheSet` — the raw labelled transition system: an ``n``-tuple of
+  stored blocks plus a policy control state, advanced by the Hit/Miss rules
+  of Figure 2.  Lines may be *invalid* (hold no block), which models the
+  state after a ``clflush``; a miss always asks the policy for the victim
+  line, exactly as in the paper's model.
+
+* :class:`SimulatedCacheSet` — the "software-simulated cache" of Section 6:
+  a :class:`CacheSet` wrapped with the reset-and-probe interface that Polca
+  and CacheQuery expect (:meth:`probe` runs a whole block sequence from the
+  initial state and returns the hit/miss trace).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.trace import Trace
+from repro.errors import CacheError
+from repro.policies.base import ReplacementPolicy
+
+Block = Hashable
+
+#: Cache outputs (Table 1).
+HIT = "Hit"
+MISS = "Miss"
+
+
+class CacheSet:
+    """An ``n``-way cache set: stored blocks plus a policy control state."""
+
+    def __init__(
+        self,
+        policy: ReplacementPolicy,
+        initial_content: Optional[Sequence[Block]] = None,
+    ) -> None:
+        self.policy = policy
+        self.associativity = policy.associativity
+        if initial_content is not None:
+            content = list(initial_content)
+            if len(content) != self.associativity:
+                raise CacheError(
+                    f"initial content must have {self.associativity} blocks, "
+                    f"got {len(content)}"
+                )
+            valid = [block for block in content if block is not None]
+            if len(set(valid)) != len(valid):
+                raise CacheError("initial content must not contain repeated blocks")
+            self._initial_content: List[Optional[Block]] = content
+        else:
+            self._initial_content = [None] * self.associativity
+        self.content: List[Optional[Block]] = list(self._initial_content)
+        self.policy_state = policy.initial_state()
+
+    # ----------------------------------------------------------------- state
+
+    def reset(self) -> None:
+        """Return the set to its initial content and initial policy state."""
+        self.content = list(self._initial_content)
+        self.policy_state = self.policy.initial_state()
+
+    def snapshot(self) -> Tuple[Tuple[Optional[Block], ...], Hashable]:
+        """Return an immutable snapshot ``(content, policy_state)``."""
+        return tuple(self.content), self.policy_state
+
+    def restore(self, snapshot: Tuple[Tuple[Optional[Block], ...], Hashable]) -> None:
+        """Restore a snapshot previously produced by :meth:`snapshot`."""
+        content, policy_state = snapshot
+        if len(content) != self.associativity:
+            raise CacheError("snapshot associativity mismatch")
+        self.content = list(content)
+        self.policy_state = policy_state
+
+    @property
+    def valid_blocks(self) -> Tuple[Block, ...]:
+        """Blocks currently stored, in line order, skipping invalid lines."""
+        return tuple(block for block in self.content if block is not None)
+
+    def line_of(self, block: Block) -> Optional[int]:
+        """Return the line index storing ``block``, or ``None``."""
+        for index, stored in enumerate(self.content):
+            if stored == block:
+                return index
+        return None
+
+    def contains(self, block: Block) -> bool:
+        """Return ``True`` when ``block`` is currently stored."""
+        return self.line_of(block) is not None
+
+    # --------------------------------------------------------------- actions
+
+    def access(self, block: Block) -> str:
+        """Access ``block``; return :data:`HIT` or :data:`MISS`.
+
+        Implements the Hit and Miss rules of Figure 2: a hit updates only the
+        policy state (``Ln(i)``); a miss asks the policy for a victim line
+        (``Evct``), replaces its content and updates the policy state.
+        """
+        result, _ = self.access_returning_victim(block)
+        return result
+
+    def access_returning_victim(self, block: Block) -> Tuple[str, Optional[int]]:
+        """Like :meth:`access` but also return the filled/evicted line (``None`` on a hit)."""
+        if block is None:
+            raise CacheError("cannot access the invalid block None")
+        line = self.line_of(block)
+        if line is not None:
+            self.policy_state = self.policy.on_hit(self.policy_state, line)
+            return HIT, None
+        invalid = self._first_invalid_line()
+        if invalid is not None:
+            # Real caches allocate invalid ways before evicting valid blocks;
+            # the policy is informed through its insertion (fill) rule.
+            self.content[invalid] = block
+            self.policy_state = self.policy.on_fill(self.policy_state, invalid)
+            return MISS, invalid
+        self.policy_state, victim = self.policy.on_miss(self.policy_state)
+        self.content[victim] = block
+        return MISS, victim
+
+    def _first_invalid_line(self) -> Optional[int]:
+        for index, stored in enumerate(self.content):
+            if stored is None:
+                return index
+        return None
+
+    def flush(self, block: Block) -> bool:
+        """Invalidate ``block`` (``clflush``); return whether it was present.
+
+        When the flush empties the whole set, the policy state is reset to
+        its initial value: this models the observation that on the simulated
+        CPUs a full invalidation followed by a refill (*Flush+Refill*) is a
+        valid reset sequence (Section 7.1).
+        """
+        line = self.line_of(block)
+        if line is None:
+            return False
+        self.content[line] = None
+        if all(stored is None for stored in self.content):
+            self.policy_state = self.policy.initial_state()
+        return True
+
+    def flush_all(self) -> None:
+        """Invalidate every line and reset the policy state (``wbinvd``-like)."""
+        self.content = [None] * self.associativity
+        self.policy_state = self.policy.initial_state()
+
+    # ---------------------------------------------------------------- traces
+
+    def run(self, blocks: Iterable[Block]) -> Trace:
+        """Access ``blocks`` in order (without resetting) and return the trace."""
+        steps = [(block, self.access(block)) for block in blocks]
+        return Trace(steps)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"CacheSet(policy={self.policy.name}, content={self.content!r}, "
+            f"state={self.policy_state!r})"
+        )
+
+
+class SimulatedCacheSet:
+    """The software-simulated cache of Section 6: reset-and-probe semantics.
+
+    Every :meth:`probe` starts from the same initial state (a full cache with
+    blocks ``cc0`` if provided, otherwise an empty set), which is exactly the
+    cache-semantics access ``[[C]]`` that Polca's ``probeCache`` helper needs.
+    The class also counts probes and individual block accesses so experiments
+    can report query complexity.
+    """
+
+    def __init__(
+        self,
+        policy: ReplacementPolicy,
+        initial_content: Optional[Sequence[Block]] = None,
+    ) -> None:
+        self._set = CacheSet(policy, initial_content)
+        self.policy = policy
+        self.associativity = policy.associativity
+        self.probe_count = 0
+        self.access_count = 0
+
+    def probe(self, blocks: Sequence[Block]) -> Tuple[str, ...]:
+        """Reset the cache, access ``blocks`` in order, return all hit/miss outputs."""
+        self._set.reset()
+        self.probe_count += 1
+        self.access_count += len(blocks)
+        return tuple(self._set.access(block) for block in blocks)
+
+    def probe_last(self, blocks: Sequence[Block]) -> str:
+        """Reset, access ``blocks``, return only the last output (paper's ``probeCache``)."""
+        outputs = self.probe(blocks)
+        if not outputs:
+            raise CacheError("probe_last requires at least one block")
+        return outputs[-1]
+
+    def initial_content(self) -> Tuple[Optional[Block], ...]:
+        """Return the content the cache holds right after a reset."""
+        self._set.reset()
+        return tuple(self._set.content)
+
+    def reset_statistics(self) -> None:
+        """Zero the probe/access counters."""
+        self.probe_count = 0
+        self.access_count = 0

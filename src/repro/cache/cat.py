@@ -1,0 +1,55 @@
+"""Intel Cache Allocation Technology (CAT) way masking.
+
+CAT lets software restrict which ways of the last-level cache a class of
+service may allocate into.  The paper uses it to *virtually reduce* the L3
+associativity from 12/16 to 4 ways so that learning stays tractable
+(Section 7.1); the Haswell part does not support CAT, which is one of the
+reasons its L3 policy could not be learned.
+
+The simulation models the observable effect: with a mask of ``k`` ways the
+querying process only ever allocates into (and therefore only observes) a
+``k``-way set, so the per-set storage behaves exactly like a ``k``-way cache
+set running the same policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CacheError
+
+
+@dataclass(frozen=True)
+class CATConfig:
+    """A CAT class-of-service configuration for one cache level.
+
+    Parameters
+    ----------
+    supported:
+        Whether the CPU supports CAT on this level at all (False for the
+        Haswell i7-4790 L3).
+    way_mask:
+        Bit mask of the ways the class of service may allocate into.  ``0``
+        means "no mask configured" (full associativity).
+    """
+
+    supported: bool = True
+    way_mask: int = 0
+
+    def effective_associativity(self, associativity: int) -> int:
+        """Return the associativity visible through this CAT configuration."""
+        if self.way_mask == 0:
+            return associativity
+        if not self.supported:
+            raise CacheError("CAT way mask configured on a CPU without CAT support")
+        ways = bin(self.way_mask & ((1 << associativity) - 1)).count("1")
+        if ways == 0:
+            raise CacheError(f"CAT way mask {self.way_mask:#x} selects no way")
+        return ways
+
+    @classmethod
+    def reduce_to(cls, ways: int, *, supported: bool = True) -> "CATConfig":
+        """Return a configuration restricting allocation to the lowest ``ways`` ways."""
+        if ways < 1:
+            raise CacheError(f"CAT mask must keep at least one way, got {ways}")
+        return cls(supported=supported, way_mask=(1 << ways) - 1)

@@ -1,0 +1,36 @@
+"""CacheQuery: an abstract interface to individual cache sets (Section 4).
+
+The real tool is split into a C kernel module (the backend, which selects
+congruent addresses, generates measurement code and executes it) and a
+Python frontend (which expands MBL expressions, caches responses and offers
+interactive and batch modes).  This package keeps the same split:
+
+* :mod:`repro.cachequery.backend` drives a :class:`~repro.hardware.cpu.SimulatedCPU`
+  (address selection, cache filtering through eviction sets, profiling,
+  noise suppression by repetition);
+* :mod:`repro.cachequery.frontend` expands MBL, talks to the backend, caches
+  responses and exposes the set-level probe interface Polca consumes;
+* :mod:`repro.cachequery.classification` turns cycle measurements into
+  Hit/Miss verdicts;
+* :mod:`repro.cachequery.querycache` is the LevelDB stand-in.
+"""
+
+from repro.cachequery.classification import HitMissClassifier, calibrate_classifier
+from repro.cachequery.querycache import QueryCache
+from repro.cachequery.backend import BackendConfig, CacheQueryBackend
+from repro.cachequery.frontend import (
+    CacheQuery,
+    CacheQueryConfig,
+    CacheQuerySetInterface,
+)
+
+__all__ = [
+    "HitMissClassifier",
+    "calibrate_classifier",
+    "QueryCache",
+    "BackendConfig",
+    "CacheQueryBackend",
+    "CacheQuery",
+    "CacheQueryConfig",
+    "CacheQuerySetInterface",
+]

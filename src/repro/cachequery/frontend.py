@@ -1,0 +1,253 @@
+"""CacheQuery frontend: MBL expansion, response caching, and the Polca adapter.
+
+The frontend is what users (and Polca) talk to.  It expands MemBlockLang
+expressions into concrete queries, forwards them to the backend targeting
+the currently selected cache set, memoises responses (the LevelDB stand-in)
+and offers the two execution modes of the real tool: an interactive REPL and
+a batch mode that sweeps many sets with the same expressions (used for the
+leader-set detection of Appendix B).
+
+:class:`CacheQuerySetInterface` adapts a configured frontend to the
+:class:`~repro.polca.interfaces.CacheProbeInterface` protocol so the whole
+learning pipeline can run against the simulated hardware unchanged.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cachequery.backend import BackendConfig, CacheQueryBackend
+from repro.cachequery.querycache import QueryCache
+from repro.errors import CacheQueryError
+from repro.hardware.cpu import SimulatedCPU
+from repro.hardware.profiles import cpu_profile
+from repro.mbl.expansion import expand, query_to_text
+from repro.polca.reset import FlushRefillReset, ResetStrategy
+
+
+@dataclass
+class CacheQueryConfig:
+    """User-facing configuration of a CacheQuery session."""
+
+    level: str = "L2"
+    set_index: int = 0
+    slice_index: int = 0
+    use_cache: bool = True
+    cache_path: Optional[str] = None
+    backend: BackendConfig = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.backend is None:
+            self.backend = BackendConfig()
+
+
+class CacheQuery:
+    """The frontend: expand MBL, run queries on one cache set, cache the answers."""
+
+    def __init__(
+        self,
+        cpu: SimulatedCPU,
+        config: Optional[CacheQueryConfig] = None,
+        *,
+        backend: Optional[CacheQueryBackend] = None,
+    ) -> None:
+        self.cpu = cpu
+        self.config = config or CacheQueryConfig()
+        self.backend = backend or CacheQueryBackend(cpu, self.config.backend)
+        self.cache = QueryCache(self.config.cache_path)
+        self.configure(
+            level=self.config.level,
+            set_index=self.config.set_index,
+            slice_index=self.config.slice_index,
+        )
+
+    # ---------------------------------------------------------- configuration
+
+    def configure(
+        self,
+        *,
+        level: Optional[str] = None,
+        set_index: Optional[int] = None,
+        slice_index: Optional[int] = None,
+    ) -> None:
+        """Re-target the session (the interactive mode's ``set``/``level`` commands)."""
+        if level is not None:
+            self.config.level = level
+        if set_index is not None:
+            self.config.set_index = set_index
+        if slice_index is not None:
+            self.config.slice_index = slice_index
+        self.backend.configure_target(
+            self.config.level, self.config.set_index, self.config.slice_index
+        )
+
+    @property
+    def associativity(self) -> int:
+        """Effective associativity (after CAT) of the targeted set."""
+        return self.backend.associativity
+
+    @property
+    def blocks(self) -> Tuple[str, ...]:
+        """Abstract block names available for queries."""
+        return self.backend.pool_blocks()
+
+    # -------------------------------------------------------------- execution
+
+    def query(self, expression: str) -> List[Tuple[str, ...]]:
+        """Expand ``expression`` and execute every resulting query.
+
+        Returns one tuple of Hit/Miss verdicts (one per ``?``-tagged access)
+        per expanded query, in expansion order.
+        """
+        queries = expand(expression, self.associativity, self.blocks)
+        results: List[Tuple[str, ...]] = []
+        for concrete in queries:
+            text = query_to_text(concrete)
+            cached = (
+                self.cache.get(
+                    self.config.level, self.config.slice_index, self.config.set_index, text
+                )
+                if self.config.use_cache
+                else None
+            )
+            if cached is not None:
+                results.append(cached)
+                continue
+            outcome = self.backend.execute(concrete)
+            if self.config.use_cache:
+                self.cache.put(
+                    self.config.level,
+                    self.config.slice_index,
+                    self.config.set_index,
+                    text,
+                    outcome,
+                )
+            results.append(outcome)
+        return results
+
+    def batch(
+        self,
+        expression: str,
+        set_indexes: Sequence[int],
+        *,
+        slice_index: Optional[int] = None,
+    ) -> Dict[int, List[Tuple[str, ...]]]:
+        """Run one expression against many sets (the batch mode of Section 4.2)."""
+        original = (self.config.level, self.config.set_index, self.config.slice_index)
+        results: Dict[int, List[Tuple[str, ...]]] = {}
+        try:
+            for set_index in set_indexes:
+                self.configure(set_index=set_index, slice_index=slice_index)
+                results[set_index] = self.query(expression)
+        finally:
+            self.configure(level=original[0], set_index=original[1], slice_index=original[2])
+        return results
+
+    # ------------------------------------------------------------ interactive
+
+    def interactive(self, input_fn=input, output_fn=print) -> None:
+        """A small REPL: ``level L2``, ``set 63``, ``slice 1``, MBL queries, ``quit``."""
+        output_fn(
+            f"CacheQuery on {self.cpu.profile.name}: level {self.config.level}, "
+            f"set {self.config.set_index}, slice {self.config.slice_index}"
+        )
+        while True:
+            try:
+                line = input_fn("cachequery> ").strip()
+            except EOFError:
+                return
+            if not line:
+                continue
+            if line in ("quit", "exit"):
+                return
+            try:
+                if line.startswith("level "):
+                    self.configure(level=line.split(maxsplit=1)[1])
+                elif line.startswith("set "):
+                    self.configure(set_index=int(line.split(maxsplit=1)[1]))
+                elif line.startswith("slice "):
+                    self.configure(slice_index=int(line.split(maxsplit=1)[1]))
+                elif line == "blocks":
+                    output_fn(" ".join(self.blocks))
+                else:
+                    for outcome in self.query(line):
+                        output_fn(" ".join(outcome) if outcome else "(no profiled access)")
+            except Exception as error:  # surface errors, keep the REPL alive
+                output_fn(f"error: {error}")
+
+
+class CacheQuerySetInterface:
+    """Polca's view of one hardware cache set, through a CacheQuery session.
+
+    Every :meth:`probe` prepends the configured reset sequence and profiles
+    every block of the probe, so Polca sees exactly the reset-and-probe
+    semantics it expects.
+    """
+
+    def __init__(
+        self,
+        frontend: CacheQuery,
+        *,
+        reset: Optional[ResetStrategy] = None,
+    ) -> None:
+        self.frontend = frontend
+        self.reset = reset if reset is not None else FlushRefillReset()
+        self.associativity = frontend.associativity
+        universe = frontend.blocks
+        if len(universe) <= self.associativity:
+            raise CacheQueryError("the CacheQuery pool is too small for Polca")
+        self._universe = universe
+        self._initial = universe[: self.associativity]
+        self.probe_count = 0
+        self.access_count = 0
+
+    def initial_blocks(self) -> Tuple[str, ...]:
+        return self._initial
+
+    def block_universe(self) -> Tuple[str, ...]:
+        return self._universe
+
+    def probe(self, blocks: Sequence[str]) -> Tuple[str, ...]:
+        if not blocks:
+            return ()
+        prefix = self.reset.mbl_prefix(self.associativity, self._universe)
+        profiled = " ".join(f"{block}?" for block in blocks)
+        expression = f"{prefix} {profiled}".strip()
+        results = self.frontend.query(expression)
+        if len(results) != 1:
+            raise CacheQueryError(
+                f"a Polca probe must expand to exactly one query, got {len(results)}"
+            )
+        self.probe_count += 1
+        self.access_count += len(blocks)
+        return results[0]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Console entry point: an interactive CacheQuery shell on a simulated CPU."""
+    parser = argparse.ArgumentParser(description="CacheQuery interactive shell")
+    parser.add_argument("--cpu", default="skylake", help="CPU profile (haswell/skylake/kabylake)")
+    parser.add_argument("--level", default="L2", help="target cache level")
+    parser.add_argument("--set", dest="set_index", type=int, default=0, help="target set index")
+    parser.add_argument("--slice", dest="slice_index", type=int, default=0, help="target slice")
+    parser.add_argument("--cat-ways", type=int, default=0, help="reduce L3 ways via CAT")
+    arguments = parser.parse_args(argv)
+    cpu = SimulatedCPU(cpu_profile(arguments.cpu))
+    if arguments.cat_ways:
+        cpu.configure_cat("L3", arguments.cat_ways)
+    session = CacheQuery(
+        cpu,
+        CacheQueryConfig(
+            level=arguments.level,
+            set_index=arguments.set_index,
+            slice_index=arguments.slice_index,
+        ),
+    )
+    session.interactive()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,84 @@
+"""Query response cache (the LevelDB stand-in of the frontend).
+
+The real frontend memoises MBL query responses in LevelDB so repeated
+queries never reach the kernel module.  Here the cache is an in-memory
+dictionary with optional JSON persistence, keyed by the target
+(level, slice, set) and the concrete query text.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+Key = Tuple[str, int, int, str]
+
+
+class QueryCache:
+    """A dictionary-backed response cache with optional on-disk persistence."""
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self._path = Path(path) if path is not None else None
+        self._entries: Dict[Key, Tuple[str, ...]] = {}
+        self.hits = 0
+        self.misses = 0
+        if self._path is not None and self._path.exists():
+            self._load()
+
+    @staticmethod
+    def _key(level: str, slice_index: int, set_index: int, query_text: str) -> Key:
+        return (level, slice_index, set_index, query_text)
+
+    def get(
+        self, level: str, slice_index: int, set_index: int, query_text: str
+    ) -> Optional[Tuple[str, ...]]:
+        """Return the cached outcome trace for a query, or ``None``."""
+        entry = self._entries.get(self._key(level, slice_index, set_index, query_text))
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def put(
+        self,
+        level: str,
+        slice_index: int,
+        set_index: int,
+        query_text: str,
+        outcomes: Tuple[str, ...],
+    ) -> None:
+        """Store the outcome trace of a query."""
+        self._entries[self._key(level, slice_index, set_index, query_text)] = tuple(outcomes)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every cached response."""
+        self._entries.clear()
+
+    # ----------------------------------------------------------- persistence
+
+    def _load(self) -> None:
+        raw = json.loads(self._path.read_text())
+        for item in raw:
+            key = (item["level"], item["slice"], item["set"], item["query"])
+            self._entries[key] = tuple(item["outcomes"])
+
+    def save(self) -> None:
+        """Write the cache to its JSON file (no-op for purely in-memory caches)."""
+        if self._path is None:
+            return
+        serialised = [
+            {
+                "level": level,
+                "slice": slice_index,
+                "set": set_index,
+                "query": query,
+                "outcomes": list(outcomes),
+            }
+            for (level, slice_index, set_index, query), outcomes in self._entries.items()
+        ]
+        self._path.write_text(json.dumps(serialised))

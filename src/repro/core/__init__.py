@@ -1,0 +1,35 @@
+"""Core formal models: policy alphabets, traces, and Mealy machines.
+
+The classes in this package implement Section 2 of the paper: the policy
+alphabet (Table 1), the Mealy-machine model of replacement policies
+(Definition 2.1) and the trace machinery shared by the learner, Polca and the
+synthesizer.
+"""
+
+from repro.core.alphabet import (
+    EVICT,
+    MISS_OUTPUT,
+    Evict,
+    Line,
+    PolicyInput,
+    PolicyOutput,
+    policy_input_alphabet,
+    policy_output_alphabet,
+)
+from repro.core.mealy import MealyMachine, mealy_from_step_function
+from repro.core.trace import Trace, TraceStep
+
+__all__ = [
+    "EVICT",
+    "MISS_OUTPUT",
+    "Evict",
+    "Line",
+    "PolicyInput",
+    "PolicyOutput",
+    "policy_input_alphabet",
+    "policy_output_alphabet",
+    "MealyMachine",
+    "mealy_from_step_function",
+    "Trace",
+    "TraceStep",
+]

@@ -1,0 +1,102 @@
+"""Policy input/output alphabets (Table 1 of the paper).
+
+A replacement policy of associativity ``n`` consumes inputs
+
+* ``Ln(i)`` — "the block stored in cache line *i* was accessed (a hit)", and
+* ``Evct`` — "a miss happened, pick a line to evict",
+
+and produces outputs
+
+* ``⊥`` (here :data:`MISS_OUTPUT`, rendered ``"-"``) for ``Ln(i)`` inputs, and
+* a line index in ``0..n-1`` for ``Evct`` inputs.
+
+Inputs are modelled as small frozen dataclasses so they are hashable (the
+learner uses them as observation-table keys) and have readable ``repr``s in
+learned models and error messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+
+@dataclass(frozen=True, order=True)
+class Line:
+    """Input symbol ``Ln(i)``: access the block currently stored in line ``i``."""
+
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError(f"line index must be non-negative, got {self.index}")
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"Ln({self.index})"
+
+    __repr__ = __str__
+
+
+@dataclass(frozen=True, order=True)
+class Evict:
+    """Input symbol ``Evct``: request that the policy frees one line."""
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return "Evct"
+
+    __repr__ = __str__
+
+
+#: The singleton eviction-request input.
+EVICT = Evict()
+
+#: Output produced for ``Ln(i)`` inputs (the paper's ``⊥``).
+MISS_OUTPUT = "-"
+
+PolicyInput = Union[Line, Evict]
+#: Policy outputs are either :data:`MISS_OUTPUT` or a line index.
+PolicyOutput = Union[str, int]
+
+
+def policy_input_alphabet(associativity: int) -> Tuple[PolicyInput, ...]:
+    """Return the full policy input alphabet for the given associativity.
+
+    The order is ``Ln(0), ..., Ln(n-1), Evct`` which matches the order used in
+    the paper's examples and keeps learned models stable across runs.
+    """
+    if associativity < 1:
+        raise ValueError(f"associativity must be >= 1, got {associativity}")
+    return tuple(Line(i) for i in range(associativity)) + (EVICT,)
+
+
+def policy_output_alphabet(associativity: int) -> Tuple[PolicyOutput, ...]:
+    """Return the full policy output alphabet for the given associativity."""
+    if associativity < 1:
+        raise ValueError(f"associativity must be >= 1, got {associativity}")
+    return (MISS_OUTPUT,) + tuple(range(associativity))
+
+
+def is_line_input(symbol: PolicyInput) -> bool:
+    """Return ``True`` when ``symbol`` is an ``Ln(i)`` access."""
+    return isinstance(symbol, Line)
+
+
+def is_evict_input(symbol: PolicyInput) -> bool:
+    """Return ``True`` when ``symbol`` is the ``Evct`` request."""
+    return isinstance(symbol, Evict)
+
+
+def validate_output(symbol: PolicyInput, output: PolicyOutput, associativity: int) -> None:
+    """Check the well-formedness conditions of Definition 2.1.
+
+    ``Ln(i)`` inputs must produce ``⊥``; ``Evct`` must produce a line index in
+    range.  Raises :class:`ValueError` on violation.
+    """
+    if isinstance(symbol, Line):
+        if output != MISS_OUTPUT:
+            raise ValueError(f"Ln({symbol.index}) must output {MISS_OUTPUT!r}, got {output!r}")
+    else:
+        if not isinstance(output, int) or not 0 <= output < associativity:
+            raise ValueError(
+                f"Evct must output a line index in [0, {associativity}), got {output!r}"
+            )

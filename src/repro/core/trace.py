@@ -1,0 +1,91 @@
+"""Input/output traces shared by the cache model, Polca and the learner."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generic, Iterable, Iterator, Sequence, Tuple, TypeVar
+
+InputT = TypeVar("InputT")
+OutputT = TypeVar("OutputT")
+
+
+@dataclass(frozen=True)
+class TraceStep(Generic[InputT, OutputT]):
+    """A single input/output pair of a trace."""
+
+    input: InputT
+    output: OutputT
+
+    def __iter__(self) -> Iterator:
+        return iter((self.input, self.output))
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"<{self.input}, {self.output}>"
+
+
+class Trace(Generic[InputT, OutputT]):
+    """An immutable sequence of input/output pairs.
+
+    Traces are the elements of the policy semantics ``[[P]]`` and of the cache
+    semantics ``[[C]]`` from Section 2.  They behave like tuples of
+    :class:`TraceStep` but offer convenient projections.
+    """
+
+    __slots__ = ("_steps",)
+
+    def __init__(self, steps: Iterable[Tuple[InputT, OutputT]] = ()) -> None:
+        self._steps: Tuple[TraceStep[InputT, OutputT], ...] = tuple(
+            step if isinstance(step, TraceStep) else TraceStep(step[0], step[1])
+            for step in steps
+        )
+
+    @classmethod
+    def from_pairs(cls, inputs: Sequence[InputT], outputs: Sequence[OutputT]) -> "Trace":
+        """Zip parallel input/output sequences into a trace."""
+        if len(inputs) != len(outputs):
+            raise ValueError(
+                f"inputs and outputs must have equal length ({len(inputs)} != {len(outputs)})"
+            )
+        return cls(zip(inputs, outputs))
+
+    @property
+    def inputs(self) -> Tuple[InputT, ...]:
+        """The projection of the trace onto inputs."""
+        return tuple(step.input for step in self._steps)
+
+    @property
+    def outputs(self) -> Tuple[OutputT, ...]:
+        """The projection of the trace onto outputs."""
+        return tuple(step.output for step in self._steps)
+
+    def append(self, input_symbol: InputT, output_symbol: OutputT) -> "Trace":
+        """Return a new trace extended by one step."""
+        return Trace(tuple(self._steps) + (TraceStep(input_symbol, output_symbol),))
+
+    def prefix(self, length: int) -> "Trace":
+        """Return the prefix consisting of the first ``length`` steps."""
+        return Trace(self._steps[:length])
+
+    def __len__(self) -> int:
+        return len(self._steps)
+
+    def __iter__(self) -> Iterator[TraceStep[InputT, OutputT]]:
+        return iter(self._steps)
+
+    def __getitem__(self, index):
+        result = self._steps[index]
+        if isinstance(index, slice):
+            return Trace(result)
+        return result
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Trace):
+            return NotImplemented
+        return self._steps == other._steps
+
+    def __hash__(self) -> int:
+        return hash(self._steps)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        body = " ".join(str(step) for step in self._steps)
+        return f"Trace[{body}]"

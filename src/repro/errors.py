@@ -1,0 +1,85 @@
+"""Exception hierarchy shared across the repro library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single base class at API boundaries while still being able to react
+to specific failure modes (parse errors, learning divergence, synthesis
+failure, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class PolicyError(ReproError):
+    """A replacement policy was configured or driven incorrectly."""
+
+
+class CacheError(ReproError):
+    """A cache model invariant was violated (bad block, bad line index, ...)."""
+
+
+class AddressingError(CacheError):
+    """Address translation / set-index / slice computation failed."""
+
+
+class MBLSyntaxError(ReproError):
+    """A MemBlockLang expression could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        self.position = position
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+
+
+class MBLExpansionError(ReproError):
+    """A syntactically valid MBL expression could not be expanded.
+
+    Typical causes are tagging an already-tagged expression or requesting
+    more distinct blocks than the configured block universe provides.
+    """
+
+
+class CacheQueryError(ReproError):
+    """The CacheQuery frontend/backend could not execute a query."""
+
+
+class LearningError(ReproError):
+    """The automata-learning loop failed (non-determinism, budget, ...)."""
+
+
+class NonDeterminismError(LearningError):
+    """The system under learning produced two different outputs for one query.
+
+    The paper relies on this signal to detect incorrect reset sequences and
+    adaptive (non-deterministic) cache sets (section 7.1).
+    """
+
+    def __init__(self, query, first, second) -> None:
+        self.query = tuple(query)
+        self.first = tuple(first)
+        self.second = tuple(second)
+        super().__init__(
+            "non-deterministic behaviour observed for query "
+            f"{list(self.query)}: {list(first)} vs {list(second)}"
+        )
+
+
+class ResetError(LearningError):
+    """A reset sequence failed to bring the cache to a reproducible state."""
+
+
+class SynthesisError(ReproError):
+    """The synthesizer exhausted its search space without finding a program."""
+
+
+class BudgetExceeded(ReproError):
+    """A configured time / query / state budget was exceeded."""
+
+    def __init__(self, message: str, *, spent=None, budget=None) -> None:
+        self.spent = spent
+        self.budget = budget
+        super().__init__(message)

@@ -1,0 +1,139 @@
+"""Command-line entry point: regenerate any table or figure of the paper.
+
+Examples
+--------
+
+.. code-block:: console
+
+   repro-experiments table2 --mode fast
+   repro-experiments table4 --mode standard
+   repro-experiments table5 --mode full
+   repro-experiments overhead
+   repro-experiments leader-sets --sets 256
+   repro-experiments all --mode fast
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.experiments.leader_sets import detect_leader_sets, follower_adaptivity
+from repro.experiments.overhead import mbl_query_latency, simulated_vs_cachequery_overhead
+from repro.experiments.reporting import format_table
+from repro.experiments.table2 import format_table2, run_table2
+from repro.experiments.table3 import format_table3
+from repro.experiments.table4 import format_table4, run_table4
+from repro.experiments.table5 import format_table5, run_table5
+
+
+def _print_table2(mode: str) -> None:
+    print("== Table 2: learning from software-simulated caches ==")
+    print(format_table2(run_table2(mode)))
+
+
+def _print_table3() -> None:
+    print("== Table 3: processors' specifications ==")
+    print(format_table3())
+
+
+def _print_table4(mode: str) -> None:
+    print("== Table 4: learning from (simulated) hardware via CacheQuery ==")
+    print(format_table4(run_table4(mode)))
+
+
+def _print_table5(mode: str) -> None:
+    print("== Table 5: synthesizing explanations (associativity 4) ==")
+    rows = run_table5(mode)
+    print(format_table5(rows))
+    for row in rows:
+        if row.explanation is not None:
+            print()
+            print(row.explanation.pretty())
+
+
+def _print_overhead(mode: str) -> None:
+    print("== Section 7.2: cost of learning from hardware ==")
+    associativity = 4 if mode == "fast" else 8
+    result = simulated_vs_cachequery_overhead("PLRU", associativity)
+    print(
+        f"PLRU assoc {associativity}: software-simulated {result.simulated_seconds:.2f} s, "
+        f"CacheQuery-on-simulated-hardware {result.cachequery_seconds:.2f} s "
+        f"(overhead x{result.overhead_factor:.0f})"
+    )
+    latencies = mbl_query_latency()
+    rows = [(level, f"{seconds * 1000:.2f} ms") for level, seconds in latencies.items()]
+    print(format_table(("Level", "Mean '@ X _?' query time"), rows))
+
+
+def _print_leader_sets(num_sets: int) -> None:
+    print("== Appendix B: leader sets and adaptive policies ==")
+    detection = detect_leader_sets(set_indexes=range(num_sets))
+    print(f"scanned sets      : 0..{num_sets - 1}")
+    print(f"detected leaders  : {list(detection.detected_leaders)}")
+    print(f"formula leaders   : {list(detection.formula_leaders)}")
+    print(f"agreement         : {detection.formula_agreement * 100:.1f}%")
+    adaptivity = follower_adaptivity()
+    print(
+        f"follower set {adaptivity.follower_set}: thrash miss rate "
+        f"{adaptivity.miss_rate_before:.2f} -> {adaptivity.miss_rate_after:.2f} after "
+        f"thrashing the leader sets (became resistant: {adaptivity.became_resistant})"
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Parse arguments and run the requested experiment(s)."""
+    parser = argparse.ArgumentParser(description="Regenerate the paper's tables and figures")
+    parser.add_argument(
+        "experiment",
+        choices=["table2", "table3", "table4", "table5", "overhead", "leader-sets", "all"],
+        help="which experiment to run",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=["fast", "standard", "full"],
+        default="fast",
+        help="experiment size (fast: minutes; full: the paper's exact sweeps)",
+    )
+    parser.add_argument(
+        "--sets", type=int, default=128, help="number of L3 sets scanned by leader-sets"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit raw results as JSON instead of tables"
+    )
+    arguments = parser.parse_args(argv)
+
+    if arguments.json:
+        payload = {}
+        if arguments.experiment in ("table2", "all"):
+            payload["table2"] = [row.__dict__ for row in run_table2(arguments.mode)]
+        if arguments.experiment in ("table4", "all"):
+            payload["table4"] = [row.__dict__ for row in run_table4(arguments.mode)]
+        if arguments.experiment in ("table5", "all"):
+            payload["table5"] = [
+                {**row.__dict__, "explanation": row.explanation.pretty() if row.explanation else None}
+                for row in run_table5(arguments.mode)
+            ]
+        json.dump(payload, sys.stdout, indent=2, default=str)
+        print()
+        return 0
+
+    if arguments.experiment in ("table2", "all"):
+        _print_table2(arguments.mode)
+    if arguments.experiment in ("table3", "all"):
+        _print_table3()
+    if arguments.experiment in ("table4", "all"):
+        _print_table4(arguments.mode)
+    if arguments.experiment in ("table5", "all"):
+        _print_table5(arguments.mode)
+    if arguments.experiment in ("overhead", "all"):
+        _print_overhead(arguments.mode)
+    if arguments.experiment in ("leader-sets", "all"):
+        _print_leader_sets(arguments.sets)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,33 @@
+"""Small helpers to render experiment results as aligned text tables."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a duration the way the paper's tables do (``0 h 0 m 0.22 s``)."""
+    hours, remainder = divmod(seconds, 3600)
+    minutes, secs = divmod(remainder, 60)
+    return f"{int(hours)} h {int(minutes)} m {secs:.2f} s"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render ``rows`` under ``headers`` with aligned, space-padded columns."""
+    materialised: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    header_line = "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in materialised:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def rows_as_dicts(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> List[dict]:
+    """Zip rows with headers (JSON-friendly output for the CLI)."""
+    return [dict(zip(headers, row)) for row in rows]

@@ -1,0 +1,37 @@
+"""Table 3: the processors' cache specifications.
+
+This table is configuration rather than measurement; the harness emits it
+from the CPU profiles so the other experiments and the documentation always
+agree on the geometries used.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.experiments.reporting import format_table
+from repro.hardware.profiles import known_profiles
+
+
+def table3_rows() -> List[Tuple[str, str, str, int, int, int]]:
+    """Return (CPU, microarchitecture, level, associativity, slices, sets/slice) rows."""
+    rows: List[Tuple[str, str, str, int, int, int]] = []
+    for profile in known_profiles():
+        for level in profile.levels:
+            rows.append(
+                (
+                    profile.name,
+                    profile.microarchitecture,
+                    level.name,
+                    level.associativity,
+                    level.slices,
+                    level.sets_per_slice,
+                )
+            )
+    return rows
+
+
+def format_table3() -> str:
+    """Render the reproduced Table 3."""
+    headers = ("CPU", "Microarch.", "Cache level", "Assoc.", "Slices", "Sets per slice")
+    return format_table(headers, table3_rows())

@@ -1,0 +1,39 @@
+"""Simulated silicon CPUs — the stand-in for the paper's Intel machines.
+
+The paper measures real Haswell (i7-4790), Skylake (i5-6500) and Kaby Lake
+(i7-8550U) processors.  This package provides cycle-level *simulated* CPUs
+with the same cache geometries (Table 3), per-level latencies, timing noise,
+an optional next-line prefetcher, sliced and adaptive L3 caches, CAT way
+masking and a scrambled virtual-to-physical mapping.  The CacheQuery backend
+drives these CPUs exactly as it would drive hardware: through loads,
+``clflush`` and cycle measurements.
+"""
+
+from repro.hardware.profiles import (
+    HASWELL_I7_4790,
+    KABY_LAKE_I7_8550U,
+    SKYLAKE_I5_6500,
+    CPUProfile,
+    CacheLevelSpec,
+    cpu_profile,
+    known_profiles,
+)
+from repro.hardware.timing import NoiseModel, TimingModel
+from repro.hardware.prefetcher import NextLinePrefetcher
+from repro.hardware.perfcounters import PerformanceCounters
+from repro.hardware.cpu import SimulatedCPU
+
+__all__ = [
+    "HASWELL_I7_4790",
+    "KABY_LAKE_I7_8550U",
+    "SKYLAKE_I5_6500",
+    "CPUProfile",
+    "CacheLevelSpec",
+    "cpu_profile",
+    "known_profiles",
+    "NoiseModel",
+    "TimingModel",
+    "NextLinePrefetcher",
+    "PerformanceCounters",
+    "SimulatedCPU",
+]

@@ -1,0 +1,58 @@
+"""Active automata learning for Mealy machines.
+
+This package is the library's substitute for LearnLib (Section 3.4): an
+observation-table L* learner for Mealy machines (Angluin's algorithm in
+Niese's Mealy formulation), Rivest–Schapire counterexample processing, and
+W-/Wp-method conformance testing used to approximate equivalence queries
+with the ``(|H| + k)``-completeness guarantee of Theorem 3.3.
+"""
+
+from repro.learning.oracles import (
+    CachedMembershipOracle,
+    FunctionOracle,
+    MealyMachineOracle,
+    MembershipOracle,
+    QueryStatistics,
+)
+from repro.learning.observation_table import ObservationTable
+from repro.learning.counterexample import (
+    process_counterexample_prefixes,
+    process_counterexample_rivest_schapire,
+)
+from repro.learning.wpmethod import (
+    characterization_set,
+    state_cover,
+    transition_cover,
+    w_method_suite,
+    wp_method_suite,
+)
+from repro.learning.equivalence import (
+    ConformanceEquivalenceOracle,
+    EquivalenceOracle,
+    PerfectEquivalenceOracle,
+    RandomWalkEquivalenceOracle,
+)
+from repro.learning.learner import LearningResult, MealyLearner, learn_mealy_machine
+
+__all__ = [
+    "CachedMembershipOracle",
+    "FunctionOracle",
+    "MealyMachineOracle",
+    "MembershipOracle",
+    "QueryStatistics",
+    "ObservationTable",
+    "process_counterexample_prefixes",
+    "process_counterexample_rivest_schapire",
+    "characterization_set",
+    "state_cover",
+    "transition_cover",
+    "w_method_suite",
+    "wp_method_suite",
+    "ConformanceEquivalenceOracle",
+    "EquivalenceOracle",
+    "PerfectEquivalenceOracle",
+    "RandomWalkEquivalenceOracle",
+    "LearningResult",
+    "MealyLearner",
+    "learn_mealy_machine",
+]

@@ -1,0 +1,120 @@
+"""Counterexample processing strategies.
+
+When the equivalence oracle returns an input word on which the hypothesis
+and the system under learning disagree, the observation table must be
+refined so the next hypothesis fixes the disagreement.  Two classic
+strategies are provided:
+
+* :func:`process_counterexample_prefixes` — Angluin's original treatment:
+  add every prefix of the counterexample as a short row.  Simple, but adds
+  up to ``|cex|`` rows per counterexample.
+
+* :func:`process_counterexample_rivest_schapire` — the Rivest–Schapire
+  refinement: binary-search the counterexample for the position where the
+  hypothesis "loses track" of the system and add a single distinguishing
+  suffix instead.  This keeps the table small and is the default used by the
+  learner (LearnLib's ``RivestSchapire`` handler plays the same role).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence, Tuple
+
+from repro.core.mealy import MealyMachine
+from repro.errors import LearningError
+from repro.learning.observation_table import ObservationTable
+from repro.learning.oracles import MembershipOracle
+
+Input = Hashable
+Word = Tuple[Input, ...]
+
+
+def process_counterexample_prefixes(
+    table: ObservationTable,
+    counterexample: Sequence[Input],
+) -> None:
+    """Add every proper prefix of ``counterexample`` as a short row."""
+    counterexample = tuple(counterexample)
+    if not counterexample:
+        raise LearningError("a counterexample must contain at least one input symbol")
+    for length in range(1, len(counterexample) + 1):
+        table.add_short_prefix(counterexample[:length])
+    table.make_closed_and_consistent()
+
+
+def _access_word(hypothesis: MealyMachine, table: ObservationTable, word: Word) -> Word:
+    """Return the table access word of the hypothesis state reached by ``word``."""
+    state = hypothesis.state_after(word)
+    # The hypothesis states are numbered in the order the table's short rows
+    # were turned into states, and the table keeps the access word of each.
+    for prefix in table.short_prefixes:
+        if hypothesis.state_after(prefix) == state and _row_state(hypothesis, table, prefix) == state:
+            return prefix
+    raise LearningError("hypothesis state has no access word in the table")  # pragma: no cover
+
+
+def _row_state(hypothesis: MealyMachine, table: ObservationTable, prefix: Word) -> int:
+    return hypothesis.state_after(prefix)
+
+
+def process_counterexample_rivest_schapire(
+    table: ObservationTable,
+    hypothesis: MealyMachine,
+    oracle: MembershipOracle,
+    counterexample: Sequence[Input],
+) -> None:
+    """Extract one distinguishing suffix from ``counterexample`` (Rivest–Schapire).
+
+    For a counterexample ``w`` define, for every split position ``i``, the
+    word ``alpha_i = access(state(w[:i])) + w[i:]`` — the counterexample with
+    its prefix replaced by the hypothesis' access word for the state that
+    prefix reaches.  ``alpha_0`` behaves like the real system (it *is* the
+    counterexample) and ``alpha_|w|`` behaves like the hypothesis, so there
+    is an index where the behaviour flips; the suffix ``w[i:]`` at that index
+    distinguishes two states the hypothesis currently merges and is added as
+    a new column.
+    """
+    word = tuple(counterexample)
+    if not word:
+        raise LearningError("a counterexample must contain at least one input symbol")
+
+    def disagrees(split: int) -> bool:
+        """Return True when the 'patched' word still exposes the bug."""
+        prefix, suffix = word[:split], word[split:]
+        access = _access_word(hypothesis, table, prefix)
+        patched = access + suffix
+        if not patched:
+            return False
+        system_outputs = oracle.output_query(patched)
+        hypothesis_outputs = hypothesis.run(patched)
+        return system_outputs != hypothesis_outputs
+
+    if not disagrees(0):
+        # The "counterexample" does not actually distinguish the machines
+        # (can happen when the equivalence oracle raced a cached answer).
+        raise LearningError(f"spurious counterexample {list(word)}")
+
+    low, high = 0, len(word)
+    # Invariant: disagrees(low) is True, disagrees(high) is False.
+    if disagrees(high):
+        # The hypothesis disagrees with itself only if the access-word map is
+        # broken; fall back to the prefix strategy which is always sound.
+        process_counterexample_prefixes(table, word)
+        return
+    while high - low > 1:
+        middle = (low + high) // 2
+        if disagrees(middle):
+            low = middle
+        else:
+            high = middle
+
+    suffix = word[high:]
+    if suffix:
+        added = table.add_suffix(suffix)
+    else:
+        added = False
+    if not added:
+        # The suffix is already present: refine with prefixes to guarantee progress.
+        process_counterexample_prefixes(table, word)
+        return
+    table.make_closed_and_consistent()

@@ -1,0 +1,117 @@
+"""Equivalence oracles: finding counterexamples to a hypothesis.
+
+Three implementations are provided:
+
+* :class:`ConformanceEquivalenceOracle` — the paper's approach (Section 3.3):
+  generate a Wp-/W-method test suite of configurable depth ``k`` for the
+  hypothesis and compare the system's answers against the hypothesis' own
+  predictions.  Yields the ``(|H| + k)``-completeness guarantee of
+  Theorem 3.3 / Corollary 3.4.
+* :class:`RandomWalkEquivalenceOracle` — random word testing, mentioned in
+  Section 6 as an alternative heuristic for deeper counterexample search.
+* :class:`PerfectEquivalenceOracle` — compares against a known reference
+  machine; used in tests and when learning from white-box simulators to
+  measure learner performance independently of conformance-testing cost.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, Optional, Protocol, Sequence, Tuple
+
+from repro.core.mealy import MealyMachine
+from repro.learning.oracles import MembershipOracle, QueryStatistics
+from repro.learning.wpmethod import w_method_suite, wp_method_suite
+
+Input = Hashable
+Word = Tuple[Input, ...]
+
+
+class EquivalenceOracle(Protocol):
+    """Protocol for equivalence oracles."""
+
+    def find_counterexample(self, hypothesis: MealyMachine) -> Optional[Word]:
+        """Return an input word on which the SUL and ``hypothesis`` disagree, or ``None``."""
+        ...  # pragma: no cover - protocol
+
+
+class ConformanceEquivalenceOracle:
+    """Wp-/W-method conformance testing against a membership oracle."""
+
+    def __init__(
+        self,
+        oracle: MembershipOracle,
+        *,
+        depth: int = 1,
+        method: str = "wp",
+        max_tests: Optional[int] = None,
+    ) -> None:
+        if method not in ("w", "wp"):
+            raise ValueError(f"method must be 'w' or 'wp', got {method!r}")
+        self.oracle = oracle
+        self.depth = depth
+        self.method = method
+        self.max_tests = max_tests
+        self.statistics = QueryStatistics()
+
+    def _suite(self, hypothesis: MealyMachine):
+        if self.method == "w":
+            return w_method_suite(hypothesis, self.depth)
+        return wp_method_suite(hypothesis, self.depth)
+
+    def find_counterexample(self, hypothesis: MealyMachine) -> Optional[Word]:
+        self.statistics.equivalence_queries += 1
+        suite = self._suite(hypothesis)
+        if self.max_tests is not None:
+            suite = suite[: self.max_tests]
+        for word in suite:
+            self.statistics.test_words += 1
+            expected = hypothesis.run(word)
+            actual = tuple(self.oracle.output_query(word))
+            if actual != expected:
+                return word
+        return None
+
+
+class RandomWalkEquivalenceOracle:
+    """Random-word conformance testing (a cheaper, incomplete alternative)."""
+
+    def __init__(
+        self,
+        oracle: MembershipOracle,
+        alphabet: Sequence[Input],
+        *,
+        num_words: int = 1000,
+        min_length: int = 3,
+        max_length: int = 30,
+        seed: int = 0,
+    ) -> None:
+        self.oracle = oracle
+        self.alphabet = tuple(alphabet)
+        self.num_words = num_words
+        self.min_length = min_length
+        self.max_length = max_length
+        self._random = random.Random(seed)
+        self.statistics = QueryStatistics()
+
+    def find_counterexample(self, hypothesis: MealyMachine) -> Optional[Word]:
+        self.statistics.equivalence_queries += 1
+        for _ in range(self.num_words):
+            length = self._random.randint(self.min_length, self.max_length)
+            word = tuple(self._random.choice(self.alphabet) for _ in range(length))
+            self.statistics.test_words += 1
+            if tuple(self.oracle.output_query(word)) != hypothesis.run(word):
+                return word
+        return None
+
+
+class PerfectEquivalenceOracle:
+    """Exact equivalence against a known reference machine (white-box testing)."""
+
+    def __init__(self, reference: MealyMachine) -> None:
+        self.reference = reference
+        self.statistics = QueryStatistics()
+
+    def find_counterexample(self, hypothesis: MealyMachine) -> Optional[Word]:
+        self.statistics.equivalence_queries += 1
+        return self.reference.find_counterexample(hypothesis)

@@ -1,0 +1,145 @@
+"""The main learning loop (the student of Section 3.1).
+
+:class:`MealyLearner` ties the pieces together: it maintains an observation
+table against a membership oracle, builds hypotheses, asks the equivalence
+oracle for counterexamples and refines until no counterexample is found.
+
+The loop mirrors Section 3.4 of the paper: the membership oracle is Polca
+(or any other output-query oracle), the equivalence oracle is the k-deep
+Wp-method conformance test, and the result carries the completeness caveat
+of Corollary 3.4 — the returned machine either equals the target policy or
+the policy has more than ``|H| + k`` states.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+from repro.core.mealy import MealyMachine
+from repro.errors import BudgetExceeded, LearningError
+from repro.learning.counterexample import (
+    process_counterexample_prefixes,
+    process_counterexample_rivest_schapire,
+)
+from repro.learning.equivalence import EquivalenceOracle
+from repro.learning.observation_table import ObservationTable
+from repro.learning.oracles import CachedMembershipOracle, MembershipOracle, QueryStatistics
+
+Input = Hashable
+Word = Tuple[Input, ...]
+
+
+@dataclass
+class LearningResult:
+    """Outcome of a learning run."""
+
+    machine: MealyMachine
+    rounds: int
+    learning_seconds: float
+    statistics: QueryStatistics
+    counterexamples: List[Word] = field(default_factory=list)
+
+    @property
+    def num_states(self) -> int:
+        """Number of states of the learned machine."""
+        return self.machine.size
+
+
+class MealyLearner:
+    """Observation-table L* learner for Mealy machines."""
+
+    def __init__(
+        self,
+        alphabet: Sequence[Input],
+        membership_oracle: MembershipOracle,
+        equivalence_oracle: EquivalenceOracle,
+        *,
+        counterexample_strategy: str = "rivest-schapire",
+        max_rounds: int = 10_000,
+        cache_queries: bool = True,
+    ) -> None:
+        if counterexample_strategy not in ("rivest-schapire", "prefixes"):
+            raise LearningError(
+                f"unknown counterexample strategy {counterexample_strategy!r}"
+            )
+        self.alphabet = tuple(alphabet)
+        self.membership_oracle: MembershipOracle = (
+            CachedMembershipOracle(membership_oracle) if cache_queries else membership_oracle
+        )
+        self.equivalence_oracle = equivalence_oracle
+        self.counterexample_strategy = counterexample_strategy
+        self.max_rounds = max_rounds
+
+    def _refine(self, table: ObservationTable, hypothesis: MealyMachine, counterexample: Word) -> None:
+        if self.counterexample_strategy == "prefixes":
+            process_counterexample_prefixes(table, counterexample)
+            return
+        try:
+            process_counterexample_rivest_schapire(
+                table, hypothesis, self.membership_oracle, counterexample
+            )
+        except LearningError:
+            # Fall back to the always-sound prefix strategy (e.g. on a
+            # spurious counterexample caused by an already-known suffix).
+            process_counterexample_prefixes(table, counterexample)
+
+    def learn(self) -> LearningResult:
+        """Run the learning loop until the equivalence oracle is satisfied."""
+        start = time.perf_counter()
+        table = ObservationTable(self.alphabet, self.membership_oracle)
+        counterexamples: List[Word] = []
+
+        table.make_closed_and_consistent()
+        hypothesis = table.hypothesis()
+
+        for round_number in range(1, self.max_rounds + 1):
+            counterexample = self.equivalence_oracle.find_counterexample(hypothesis)
+            if counterexample is None:
+                elapsed = time.perf_counter() - start
+                return LearningResult(
+                    machine=hypothesis.relabel(),
+                    rounds=round_number,
+                    learning_seconds=elapsed,
+                    statistics=self._collect_statistics(),
+                    counterexamples=counterexamples,
+                )
+            counterexamples.append(tuple(counterexample))
+            previous_size = hypothesis.size
+            self._refine(table, hypothesis, tuple(counterexample))
+            table.make_closed_and_consistent()
+            hypothesis = table.hypothesis()
+            if hypothesis.size == previous_size and hypothesis.run(counterexample) != tuple(
+                self.membership_oracle.output_query(counterexample)
+            ):
+                # The refinement did not resolve the counterexample; escalate
+                # to the prefix strategy to guarantee progress.
+                process_counterexample_prefixes(table, tuple(counterexample))
+                table.make_closed_and_consistent()
+                hypothesis = table.hypothesis()
+
+        raise BudgetExceeded(
+            f"learning did not converge within {self.max_rounds} rounds",
+            spent=self.max_rounds,
+            budget=self.max_rounds,
+        )
+
+    def _collect_statistics(self) -> QueryStatistics:
+        statistics = QueryStatistics()
+        for candidate in (self.membership_oracle, self.equivalence_oracle):
+            candidate_stats = getattr(candidate, "statistics", None)
+            if isinstance(candidate_stats, QueryStatistics):
+                statistics = statistics.merge(candidate_stats)
+        return statistics
+
+
+def learn_mealy_machine(
+    alphabet: Sequence[Input],
+    membership_oracle: MembershipOracle,
+    equivalence_oracle: EquivalenceOracle,
+    **kwargs,
+) -> LearningResult:
+    """Convenience wrapper: build a :class:`MealyLearner` and run it."""
+    learner = MealyLearner(alphabet, membership_oracle, equivalence_oracle, **kwargs)
+    return learner.learn()

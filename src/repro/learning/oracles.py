@@ -1,0 +1,145 @@
+"""Membership oracles: the "teacher" side of the learning loop.
+
+A membership oracle answers *output queries*: given an input word, it
+returns the word of outputs the system under learning produces when reading
+it from its initial state.  (For Mealy machines this is the natural
+formulation of Angluin's membership queries.)
+
+The module provides:
+
+* :class:`MembershipOracle` — the protocol every oracle implements;
+* :class:`FunctionOracle` / :class:`MealyMachineOracle` — adapters for plain
+  callables and for known machines (used in tests and for conformance
+  checks against reference policies);
+* :class:`CachedMembershipOracle` — a prefix-sharing cache around any oracle,
+  mirroring the LevelDB response cache of CacheQuery's frontend; it also
+  detects non-determinism (two executions of the same prefix giving
+  different outputs), which the paper uses to reject bad reset sequences;
+* :class:`QueryStatistics` — counters reported by the experiment harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, Protocol, Sequence, Tuple
+
+from repro.core.mealy import MealyMachine
+from repro.errors import NonDeterminismError
+
+Input = Hashable
+Output = Hashable
+Word = Tuple[Input, ...]
+OutputWord = Tuple[Output, ...]
+
+
+@dataclass
+class QueryStatistics:
+    """Counters describing the cost of a learning run."""
+
+    membership_queries: int = 0
+    membership_symbols: int = 0
+    equivalence_queries: int = 0
+    test_words: int = 0
+    cache_hits: int = 0
+
+    def record_query(self, length: int) -> None:
+        """Record one membership query of ``length`` symbols."""
+        self.membership_queries += 1
+        self.membership_symbols += length
+
+    def merge(self, other: "QueryStatistics") -> "QueryStatistics":
+        """Return a new statistics object summing both operands."""
+        return QueryStatistics(
+            self.membership_queries + other.membership_queries,
+            self.membership_symbols + other.membership_symbols,
+            self.equivalence_queries + other.equivalence_queries,
+            self.test_words + other.test_words,
+            self.cache_hits + other.cache_hits,
+        )
+
+
+class MembershipOracle(Protocol):
+    """Protocol for output-query oracles."""
+
+    def output_query(self, word: Sequence[Input]) -> OutputWord:
+        """Return the output word produced by the SUL when reading ``word``."""
+        ...  # pragma: no cover - protocol
+
+
+class FunctionOracle:
+    """Wrap a plain callable ``word -> outputs`` as a membership oracle."""
+
+    def __init__(self, function: Callable[[Word], OutputWord]) -> None:
+        self._function = function
+        self.statistics = QueryStatistics()
+
+    def output_query(self, word: Sequence[Input]) -> OutputWord:
+        word = tuple(word)
+        self.statistics.record_query(len(word))
+        return tuple(self._function(word))
+
+
+class MealyMachineOracle:
+    """A membership oracle backed by a known Mealy machine.
+
+    Used for learning from "white box" models in tests, and as the reference
+    teacher in the scalability study where the software-simulated cache can
+    be bypassed.
+    """
+
+    def __init__(self, machine: MealyMachine) -> None:
+        self.machine = machine
+        self.statistics = QueryStatistics()
+
+    def output_query(self, word: Sequence[Input]) -> OutputWord:
+        word = tuple(word)
+        self.statistics.record_query(len(word))
+        return self.machine.run(word)
+
+
+class CachedMembershipOracle:
+    """A prefix-sharing response cache around another membership oracle.
+
+    Every answered query also answers all of its prefixes, so the cache
+    stores outputs per word and serves prefixes directly.  When a cached
+    prefix disagrees with a later answer for the same word the underlying
+    system is not deterministic (or its reset is broken) and a
+    :class:`~repro.errors.NonDeterminismError` is raised, mirroring how the
+    paper detects incorrect reset sequences (Section 7.1).
+    """
+
+    def __init__(self, delegate: MembershipOracle) -> None:
+        self._delegate = delegate
+        self._cache: Dict[Word, OutputWord] = {}
+        self.statistics = QueryStatistics()
+
+    def output_query(self, word: Sequence[Input]) -> OutputWord:
+        word = tuple(word)
+        cached = self._cache.get(word)
+        if cached is not None:
+            self.statistics.cache_hits += 1
+            return cached
+        self.statistics.record_query(len(word))
+        outputs = tuple(self._delegate.output_query(word))
+        if len(outputs) != len(word):
+            raise NonDeterminismError(word, outputs, word)
+        self._check_consistency(word, outputs)
+        # Store the word and all its prefixes.
+        for length in range(1, len(word) + 1):
+            self._cache.setdefault(word[:length], outputs[:length])
+        return outputs
+
+    def _check_consistency(self, word: Word, outputs: OutputWord) -> None:
+        for length in range(1, len(word) + 1):
+            cached = self._cache.get(word[:length])
+            if cached is not None and cached != outputs[:length]:
+                raise NonDeterminismError(word[:length], cached, outputs[:length])
+
+    @property
+    def size(self) -> int:
+        """Number of cached words (including implied prefixes)."""
+        return len(self._cache)
+
+    def clear(self) -> None:
+        """Drop all cached responses."""
+        self._cache.clear()

@@ -1,0 +1,210 @@
+"""Conformance-test suite generation: W-method and Wp-method.
+
+The paper approximates equivalence queries by conformance testing
+(Section 3.3): a test suite that is *m-complete* for the hypothesis ``H``
+guarantees that any policy with fewer than ``m`` states that agrees with
+``H`` on the suite is trace-equivalent to it (Theorem 3.3).  The classic
+constructions are:
+
+* the **W-method** (Chow): ``P · Σ^{≤k+1} · W`` where ``P`` is a transition
+  cover of ``H``, ``W`` a characterization set, and ``k`` the *depth* — the
+  number of extra states beyond ``|H|`` the suite can expose;
+* the **Wp-method** (Fujiwara et al., the method named in the paper): the
+  same first phase with the state cover, and a cheaper second phase that
+  uses per-state identification sets instead of the full ``W``.
+
+Both constructions are provided; the equivalence oracle defaults to the
+Wp-method with depth ``k = 1`` as in the paper's experiments.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, Hashable, Iterable, Iterator, List, Sequence, Set, Tuple
+
+from repro.core.mealy import MealyMachine
+from repro.errors import LearningError
+
+Input = Hashable
+Word = Tuple[Input, ...]
+
+
+# --------------------------------------------------------------------- covers
+
+def state_cover(machine: MealyMachine) -> Dict[Hashable, Word]:
+    """Return a shortest access word for every state (BFS from the initial state)."""
+    cover: Dict[Hashable, Word] = {machine.initial_state: ()}
+    frontier: List[Hashable] = [machine.initial_state]
+    while frontier:
+        next_frontier: List[Hashable] = []
+        for state in frontier:
+            for symbol in machine.inputs:
+                successor, _ = machine.step(state, symbol)
+                if successor not in cover:
+                    cover[successor] = cover[state] + (symbol,)
+                    next_frontier.append(successor)
+        frontier = next_frontier
+    return cover
+
+
+def transition_cover(machine: MealyMachine) -> List[Word]:
+    """Return the transition cover: every state's access word extended by every input."""
+    cover = state_cover(machine)
+    words: List[Word] = []
+    for state in machine.states:
+        access = cover.get(state)
+        if access is None:
+            continue
+        for symbol in machine.inputs:
+            words.append(access + (symbol,))
+    return words
+
+
+# --------------------------------------------------- characterization machinery
+
+def _distinguishing_suffix(
+    machine: MealyMachine, state_a: Hashable, state_b: Hashable
+) -> Word:
+    """Return a shortest input word on which ``state_a`` and ``state_b`` differ."""
+    if state_a == state_b:
+        raise LearningError("cannot distinguish a state from itself")
+    visited: Set[Tuple[Hashable, Hashable]] = {(state_a, state_b)}
+    queue: List[Tuple[Hashable, Hashable, Word]] = [(state_a, state_b, ())]
+    while queue:
+        current_a, current_b, word = queue.pop(0)
+        for symbol in machine.inputs:
+            next_a, out_a = machine.step(current_a, symbol)
+            next_b, out_b = machine.step(current_b, symbol)
+            extended = word + (symbol,)
+            if out_a != out_b:
+                return extended
+            pair = (next_a, next_b)
+            if pair not in visited:
+                visited.add(pair)
+                queue.append((next_a, next_b, extended))
+    raise LearningError(
+        "states are equivalent; the machine is not minimal"
+    )
+
+
+def characterization_set(machine: MealyMachine) -> List[Word]:
+    """Return a characterization set ``W``: suffixes separating every state pair.
+
+    The machine must be minimal (the learner's hypotheses are by
+    construction).  The set is built greedily: for every pair of states not
+    yet separated by the current ``W``, a shortest distinguishing suffix is
+    added.
+    """
+    states = list(machine.states)
+    if len(states) <= 1:
+        # Any single-symbol word works as a placeholder so product sets are
+        # non-empty.
+        return [(machine.inputs[0],)]
+    w_set: List[Word] = []
+
+    def signature(state: Hashable) -> Tuple:
+        return tuple(machine.run(word, state) for word in w_set)
+
+    for i, state_a in enumerate(states):
+        for state_b in states[i + 1:]:
+            if signature(state_a) == signature(state_b):
+                w_set.append(_distinguishing_suffix(machine, state_a, state_b))
+    return w_set
+
+
+def identification_sets(machine: MealyMachine) -> Dict[Hashable, List[Word]]:
+    """Return per-state identification sets ``W_s`` (for the Wp-method phase 2).
+
+    ``W_s`` distinguishes ``s`` from every other state of the machine.
+    """
+    states = list(machine.states)
+    sets: Dict[Hashable, List[Word]] = {}
+    for state in states:
+        suffixes: List[Word] = []
+
+        def separated(other: Hashable) -> bool:
+            return any(machine.run(word, state) != machine.run(word, other) for word in suffixes)
+
+        for other in states:
+            if other == state or separated(other):
+                continue
+            suffixes.append(_distinguishing_suffix(machine, state, other))
+        if not suffixes:
+            suffixes.append((machine.inputs[0],))
+        sets[state] = suffixes
+    return sets
+
+
+# ----------------------------------------------------------------- test suites
+
+def _middle_words(alphabet: Sequence[Input], depth: int) -> Iterator[Word]:
+    """Yield all words over ``alphabet`` of length 0..depth."""
+    for length in range(depth + 1):
+        for word in product(alphabet, repeat=length):
+            yield word
+
+
+def w_method_suite(machine: MealyMachine, depth: int = 1) -> List[Word]:
+    """Return the W-method test suite ``P · Σ^{≤depth} · W`` (deduplicated)."""
+    if depth < 0:
+        raise LearningError(f"depth must be >= 0, got {depth}")
+    prefixes = transition_cover(machine)
+    w_set = characterization_set(machine)
+    suite: List[Word] = []
+    seen: Set[Word] = set()
+    for prefix in prefixes:
+        for middle in _middle_words(machine.inputs, depth):
+            for suffix in w_set:
+                word = prefix + middle + suffix
+                if word and word not in seen:
+                    seen.add(word)
+                    suite.append(word)
+    return suite
+
+
+def wp_method_suite(machine: MealyMachine, depth: int = 1) -> List[Word]:
+    """Return the Wp-method test suite for ``machine`` with the given depth.
+
+    Phase 1 checks every state of the hypothesis with the full
+    characterization set; phase 2 checks every transition (extended by up to
+    ``depth`` extra symbols) with the identification set of the state it is
+    supposed to reach.
+    """
+    if depth < 0:
+        raise LearningError(f"depth must be >= 0, got {depth}")
+    access = state_cover(machine)
+    w_set = characterization_set(machine)
+    ident = identification_sets(machine)
+
+    suite: List[Word] = []
+    seen: Set[Word] = set()
+
+    def add(word: Word) -> None:
+        if word and word not in seen:
+            seen.add(word)
+            suite.append(word)
+
+    # Phase 1: state cover x Sigma^{<=depth} x W.
+    for word in access.values():
+        for middle in _middle_words(machine.inputs, depth):
+            for suffix in w_set:
+                add(word + middle + suffix)
+
+    # Phase 2: transition cover x Sigma^{<=depth} x W_{target state}.
+    for state in machine.states:
+        base = access.get(state)
+        if base is None:
+            continue
+        for symbol in machine.inputs:
+            prefix = base + (symbol,)
+            for middle in _middle_words(machine.inputs, depth):
+                word = prefix + middle
+                target = machine.state_after(word)
+                for suffix in ident[target]:
+                    add(word + suffix)
+    return suite
+
+
+def suite_total_symbols(suite: Iterable[Word]) -> int:
+    """Return the total number of input symbols in a test suite (cost metric)."""
+    return sum(len(word) for word in suite)

@@ -1,0 +1,50 @@
+"""MemBlockLang (MBL): the query DSL of CacheQuery (Section 4.1, Appendix A).
+
+An MBL expression denotes a *set of queries*; each query is a sequence of
+memory operations — a block name optionally decorated with ``?`` (profile
+this access) or ``!`` (flush this block).  Macros (``@``, ``_``, grouping,
+extension ``q1[q2]``, powers ``(q)^n`` and tagging of whole groups) make the
+common measurement patterns short to write, e.g. the eviction-probing query
+``@ X _?`` of Example 4.1.
+
+The package provides a lexer, a parser producing a small AST, and the
+expansion semantics of Appendix A.
+"""
+
+from repro.mbl.ast import (
+    AtMacro,
+    BlockAtom,
+    Concat,
+    Expression,
+    Extend,
+    Operation,
+    Power,
+    Query,
+    QuerySet,
+    Tagged,
+    Wildcard,
+)
+from repro.mbl.lexer import Token, TokenType, tokenize
+from repro.mbl.parser import parse
+from repro.mbl.expansion import expand, expand_expression, query_to_text
+
+__all__ = [
+    "AtMacro",
+    "BlockAtom",
+    "Concat",
+    "Expression",
+    "Extend",
+    "Operation",
+    "Power",
+    "Query",
+    "QuerySet",
+    "Tagged",
+    "Wildcard",
+    "Token",
+    "TokenType",
+    "tokenize",
+    "parse",
+    "expand",
+    "expand_expression",
+    "query_to_text",
+]

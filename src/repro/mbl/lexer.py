@@ -1,0 +1,91 @@
+"""Tokenizer for MemBlockLang expressions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import Iterator, List
+
+from repro.errors import MBLSyntaxError
+
+
+class TokenType(Enum):
+    """Kinds of MBL tokens."""
+
+    BLOCK = auto()
+    AT = auto()
+    WILDCARD = auto()
+    LPAREN = auto()
+    RPAREN = auto()
+    LBRACKET = auto()
+    RBRACKET = auto()
+    LBRACE = auto()
+    RBRACE = auto()
+    COMMA = auto()
+    TAG = auto()
+    NUMBER = auto()
+    END = auto()
+
+
+@dataclass(frozen=True)
+class Token:
+    """A token with its source position (for error messages)."""
+
+    type: TokenType
+    value: str
+    position: int
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.type.name}({self.value!r}@{self.position})"
+
+
+_SINGLE_CHARS = {
+    "@": TokenType.AT,
+    "_": TokenType.WILDCARD,
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    "[": TokenType.LBRACKET,
+    "]": TokenType.RBRACKET,
+    "{": TokenType.LBRACE,
+    "}": TokenType.RBRACE,
+    ",": TokenType.COMMA,
+}
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize an MBL expression; raises :class:`MBLSyntaxError` on bad input."""
+    return list(_tokens(text))
+
+
+def _tokens(text: str) -> Iterator[Token]:
+    position = 0
+    length = len(text)
+    while position < length:
+        char = text[position]
+        if char.isspace():
+            position += 1
+            continue
+        if char in _SINGLE_CHARS:
+            yield Token(_SINGLE_CHARS[char], char, position)
+            position += 1
+            continue
+        if char in "?!":
+            yield Token(TokenType.TAG, char, position)
+            position += 1
+            continue
+        if char.isdigit():
+            start = position
+            while position < length and text[position].isdigit():
+                position += 1
+            yield Token(TokenType.NUMBER, text[start:position], start)
+            continue
+        if char.isalpha():
+            # Block names: a letter optionally followed by digits (A, B, X, A1, ...).
+            start = position
+            position += 1
+            while position < length and text[position].isdigit():
+                position += 1
+            yield Token(TokenType.BLOCK, text[start:position], start)
+            continue
+        raise MBLSyntaxError(f"unexpected character {char!r}", position)
+    yield Token(TokenType.END, "", length)

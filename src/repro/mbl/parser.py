@@ -1,0 +1,146 @@
+"""Recursive-descent parser for MemBlockLang.
+
+Grammar (informally; see Figure 4 of the paper for the abstract syntax):
+
+.. code-block:: text
+
+   expression := item { item }                    (juxtaposition = concatenation,
+                                                   a bracket group extends the
+                                                   sequence parsed so far)
+   item       := primary { TAG | NUMBER }         (tags and powers are postfix)
+   primary    := BLOCK [TAG] | '@' | '_'
+               | '(' expression ')'
+               | '{' expression { ',' expression } '}'
+
+The extension macro ``q1[q2]`` binds to everything parsed so far on the
+current sequence level, so ``@ X [A B]?`` parses as ``((@ ◦ X)[A B])?``-ish:
+the bracket extends ``@ X`` and the trailing tag applies to the bracket's
+blocks — matching the examples in Section 4.1.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import MBLSyntaxError
+from repro.mbl.ast import (
+    AtMacro,
+    BlockAtom,
+    Concat,
+    Expression,
+    Extend,
+    Power,
+    QuerySet,
+    Tagged,
+    Wildcard,
+)
+from repro.mbl.lexer import Token, TokenType, tokenize
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # ------------------------------------------------------------- utilities
+
+    def _peek(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _expect(self, token_type: TokenType) -> Token:
+        token = self._peek()
+        if token.type is not token_type:
+            raise MBLSyntaxError(
+                f"expected {token_type.name}, found {token.type.name} {token.value!r}",
+                token.position,
+            )
+        return self._advance()
+
+    # --------------------------------------------------------------- grammar
+
+    def parse_expression(self) -> Expression:
+        sequence: Optional[Expression] = None
+        while True:
+            token = self._peek()
+            if token.type in (
+                TokenType.END,
+                TokenType.RPAREN,
+                TokenType.RBRACE,
+                TokenType.RBRACKET,
+                TokenType.COMMA,
+            ):
+                break
+            if token.type is TokenType.LBRACKET:
+                if sequence is None:
+                    raise MBLSyntaxError(
+                        "the extension macro [..] needs a query on its left", token.position
+                    )
+                self._advance()
+                extension = self.parse_expression()
+                self._expect(TokenType.RBRACKET)
+                sequence = Extend(sequence, extension)
+                sequence = self._apply_postfix(sequence)
+                continue
+            item = self.parse_item()
+            sequence = item if sequence is None else Concat(sequence, item)
+        if sequence is None:
+            position = self._peek().position
+            raise MBLSyntaxError("empty MBL expression", position)
+        return sequence
+
+    def parse_item(self) -> Expression:
+        expression = self.parse_primary()
+        return self._apply_postfix(expression)
+
+    def _apply_postfix(self, expression: Expression) -> Expression:
+        while True:
+            token = self._peek()
+            if token.type is TokenType.TAG:
+                self._advance()
+                expression = Tagged(expression, token.value)
+            elif token.type is TokenType.NUMBER:
+                self._advance()
+                expression = Power(expression, int(token.value))
+            else:
+                return expression
+
+    def parse_primary(self) -> Expression:
+        token = self._advance()
+        if token.type is TokenType.BLOCK:
+            tag = None
+            if self._peek().type is TokenType.TAG:
+                tag = self._advance().value
+            return BlockAtom(token.value, tag)
+        if token.type is TokenType.AT:
+            return AtMacro()
+        if token.type is TokenType.WILDCARD:
+            return Wildcard()
+        if token.type is TokenType.LPAREN:
+            inner = self.parse_expression()
+            self._expect(TokenType.RPAREN)
+            return inner
+        if token.type is TokenType.LBRACE:
+            items = [self.parse_expression()]
+            while self._peek().type is TokenType.COMMA:
+                self._advance()
+                items.append(self.parse_expression())
+            self._expect(TokenType.RBRACE)
+            return QuerySet(tuple(items))
+        raise MBLSyntaxError(
+            f"unexpected token {token.type.name} {token.value!r}", token.position
+        )
+
+    def parse(self) -> Expression:
+        expression = self.parse_expression()
+        self._expect(TokenType.END)
+        return expression
+
+
+def parse(text: str) -> Expression:
+    """Parse an MBL expression into its AST."""
+    return _Parser(tokenize(text)).parse()

@@ -1,0 +1,172 @@
+"""Polca — Algorithm 1 of the paper.
+
+Polca answers policy-level queries by driving a cache-level interface:
+
+* an ``Ln(i)`` input is mapped to the block Polca believes is stored in line
+  ``i`` (``mapInput``);
+* an ``Evct`` input is mapped to some block that is *not* in the cache,
+  which forces a miss;
+* after every access the cache is probed (``probeCache``) by replaying the
+  whole block sequence from the reset state — the cache interface has no
+  persistent session, exactly like the hardware tool;
+* a miss is translated back to the evicted line (``mapOutput`` /
+  ``findEvicted``) by re-probing the prefix extended with each block Polca
+  believes is cached and seeing which one now misses.
+
+Two entry points are provided: :meth:`PolcaMembershipOracle.output_query`,
+the output-query form used by the learner, and :func:`polca_check_trace`,
+the boolean membership form that matches Algorithm 1 literally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+from repro.cache.cacheset import HIT, MISS
+from repro.core.alphabet import (
+    EVICT,
+    MISS_OUTPUT,
+    Evict,
+    Line,
+    PolicyInput,
+    PolicyOutput,
+    policy_input_alphabet,
+)
+from repro.core.trace import Trace
+from repro.errors import LearningError, NonDeterminismError, PolicyError
+from repro.polca.interfaces import CacheProbeInterface
+
+Block = Hashable
+
+
+@dataclass
+class PolcaStatistics:
+    """Cost counters for Polca's interaction with the cache interface."""
+
+    policy_queries: int = 0
+    policy_symbols: int = 0
+    cache_probes: int = 0
+    block_accesses: int = 0
+
+    def record_probe(self, length: int) -> None:
+        """Record one probe of ``length`` block accesses."""
+        self.cache_probes += 1
+        self.block_accesses += length
+
+
+class PolcaMembershipOracle:
+    """A policy-level membership/output oracle built on a cache interface."""
+
+    def __init__(self, cache: CacheProbeInterface) -> None:
+        self.cache = cache
+        self.associativity = cache.associativity
+        if self.associativity < 1:
+            raise PolicyError("cache interface reports a non-positive associativity")
+        self._initial_content: Tuple[Block, ...] = tuple(cache.initial_blocks())
+        if len(self._initial_content) != self.associativity:
+            raise PolicyError(
+                "cache interface must report exactly associativity initial blocks"
+            )
+        self._universe: Tuple[Block, ...] = tuple(cache.block_universe())
+        if len(set(self._universe)) <= self.associativity:
+            raise PolicyError(
+                "the block universe must contain more blocks than the associativity"
+            )
+        self.statistics = PolcaStatistics()
+
+    # ------------------------------------------------------------ primitives
+
+    def alphabet(self) -> Tuple[PolicyInput, ...]:
+        """Return the policy input alphabet for the cache's associativity."""
+        return policy_input_alphabet(self.associativity)
+
+    def _probe_last(self, blocks: Sequence[Block]) -> str:
+        """``probeCache``: access ``blocks`` from the reset state, return the last outcome."""
+        outputs = self.cache.probe(blocks)
+        self.statistics.record_probe(len(blocks))
+        if len(outputs) != len(blocks):
+            raise LearningError("cache interface returned a truncated output trace")
+        return outputs[-1]
+
+    def _map_input(self, symbol: PolicyInput, content: Sequence[Block]) -> Block:
+        """``mapInput``: translate a policy input into a memory block."""
+        if isinstance(symbol, Line):
+            if not 0 <= symbol.index < self.associativity:
+                raise PolicyError(f"line index {symbol.index} out of range")
+            return content[symbol.index]
+        if isinstance(symbol, Evict):
+            for block in self._universe:
+                if block not in content:
+                    return block
+            raise PolicyError("block universe exhausted: no block outside the cache")
+        raise PolicyError(f"unknown policy input {symbol!r}")
+
+    def _find_evicted(self, accesses: Sequence[Block], content: Sequence[Block]) -> int:
+        """``findEvicted``: identify which line the last miss replaced."""
+        evicted: Optional[int] = None
+        for line in range(self.associativity):
+            outcome = self._probe_last(tuple(accesses) + (content[line],))
+            if outcome == MISS:
+                if evicted is not None:
+                    raise NonDeterminismError(
+                        tuple(accesses),
+                        (f"line {evicted} evicted",),
+                        (f"line {line} also evicted",),
+                    )
+                evicted = line
+        if evicted is None:
+            raise NonDeterminismError(
+                tuple(accesses),
+                ("some line evicted",),
+                ("no previously cached block misses",),
+            )
+        return evicted
+
+    # --------------------------------------------------------------- queries
+
+    def output_query(self, word: Sequence[PolicyInput]) -> Tuple[PolicyOutput, ...]:
+        """Return the policy outputs for ``word`` (the learner's output query).
+
+        This is Algorithm 1 with the comparison against an expected trace
+        removed: instead of checking outputs it *computes* them.
+        """
+        word = tuple(word)
+        self.statistics.policy_queries += 1
+        self.statistics.policy_symbols += len(word)
+
+        content: List[Block] = list(self._initial_content)
+        accesses: List[Block] = []
+        outputs: List[PolicyOutput] = []
+
+        for symbol in word:
+            block = self._map_input(symbol, content)
+            accesses.append(block)
+            outcome = self._probe_last(accesses)
+            if isinstance(symbol, Line) and outcome != HIT:
+                # Polca believes the block is cached, the cache disagrees: the
+                # reset sequence is broken or the cache is not deterministic.
+                raise NonDeterminismError(tuple(accesses), (HIT,), (outcome,))
+            if outcome == HIT:
+                outputs.append(MISS_OUTPUT)
+                continue
+            evicted = self._find_evicted(accesses, content)
+            content[evicted] = block
+            outputs.append(evicted)
+        return tuple(outputs)
+
+    def check_trace(self, trace: Trace) -> bool:
+        """Decide whether ``trace`` belongs to the policy semantics ``[[P]]``.
+
+        Faithful to Algorithm 1: the expected outputs are compared step by
+        step and the first mismatch returns ``False``.
+        """
+        expected = trace.outputs
+        word = trace.inputs
+        produced = self.output_query(word[: len(expected)])
+        return produced == tuple(expected)
+
+
+def polca_check_trace(cache: CacheProbeInterface, trace: Trace) -> bool:
+    """Convenience wrapper: run Algorithm 1 once against ``cache``."""
+    return PolcaMembershipOracle(cache).check_trace(trace)

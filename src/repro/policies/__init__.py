@@ -1,0 +1,49 @@
+"""Deterministic cache replacement policies.
+
+Every policy is a :class:`~repro.policies.base.ReplacementPolicy`: a small
+object with an initial control state and two pure transition functions
+(``on_hit`` and ``on_miss``).  Policies can be stepped directly (that is how
+the software-simulated caches of Section 6 use them), or enumerated into an
+explicit Mealy machine (``policy.to_mealy()``) to obtain ground-truth models
+and state counts.
+
+The package includes every policy evaluated in the paper (FIFO, LRU, PLRU,
+MRU, LIP, SRRIP-HP, SRRIP-FP) plus the two previously undocumented Intel
+policies the paper discovered (New1, New2) and a few extra classics (BIP,
+NRU, CLOCK, BRRIP) used by the adaptive-cache substrate and the extended
+test-suite.
+"""
+
+from repro.policies.base import PolicyStepper, ReplacementPolicy
+from repro.policies.fifo import FIFOPolicy
+from repro.policies.lru import BIPPolicy, LIPPolicy, LRUPolicy
+from repro.policies.plru import PLRUPolicy
+from repro.policies.mru import MRUPolicy, NRUPolicy
+from repro.policies.srrip import BRRIPPolicy, SRRIPPolicy
+from repro.policies.clock import CLOCKPolicy
+from repro.policies.new_intel import New1Policy, New2Policy
+from repro.policies.registry import (
+    available_policies,
+    make_policy,
+    register_policy,
+)
+
+__all__ = [
+    "PolicyStepper",
+    "ReplacementPolicy",
+    "FIFOPolicy",
+    "LRUPolicy",
+    "LIPPolicy",
+    "BIPPolicy",
+    "PLRUPolicy",
+    "MRUPolicy",
+    "NRUPolicy",
+    "SRRIPPolicy",
+    "BRRIPPolicy",
+    "CLOCKPolicy",
+    "New1Policy",
+    "New2Policy",
+    "available_policies",
+    "make_policy",
+    "register_policy",
+]

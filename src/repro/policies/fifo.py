@@ -1,0 +1,33 @@
+"""First-In First-Out replacement.
+
+FIFO ignores hits entirely and evicts lines in round-robin order.  Its
+control state is the index of the line that will be evicted next, so the
+minimal Mealy machine has exactly ``associativity`` states (Table 2).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.policies.base import PolicyState, ReplacementPolicy
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """First-In First-Out: evict lines in insertion order, ignore hits."""
+
+    name = "FIFO"
+
+    def initial_state(self) -> PolicyState:
+        return 0
+
+    def on_hit(self, state: PolicyState, line: int) -> PolicyState:
+        return state
+
+    def on_miss(self, state: PolicyState) -> Tuple[PolicyState, int]:
+        victim = state
+        return (state + 1) % self.associativity, victim
+
+    def on_fill(self, state: PolicyState, line: int) -> PolicyState:
+        # Filling an invalid way moves the insertion pointer past it, so a
+        # freshly refilled set evicts in the order the blocks were inserted.
+        return (line + 1) % self.associativity

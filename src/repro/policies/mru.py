@@ -1,0 +1,66 @@
+"""Bit-based policies: MRU (bit-PLRU) and NRU.
+
+**MRU** here follows the usage of the paper (citing the Malamy et al. patent,
+also known as *bit-PLRU*): each line has a single "recently used" bit.  An
+access sets the bit; when that would make every bit 1, all *other* bits are
+cleared so the accessed line remains the only recently-used one.  The victim
+is the left-most line whose bit is 0.  The reachable control states are all
+bit vectors with at least one 0 and at least one 1, i.e. ``2^n - 2`` states —
+14, 62, 254, 1022 and 4094 for associativities 4..12, matching Table 2.
+
+**NRU** (Not Recently Used, as used e.g. in older Intel L2 caches and as the
+1-bit special case of RRIP) differs only in the normalization: when all bits
+become 1 they are *all* cleared, including the just-accessed line's bit.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.policies.base import PolicyState, ReplacementPolicy
+
+
+class MRUPolicy(ReplacementPolicy):
+    """Bit-PLRU / MRU: one used-bit per line, keep the accessed line marked."""
+
+    name = "MRU"
+
+    def initial_state(self) -> PolicyState:
+        # Line 0 starts as the only recently-used line.  Any state with at
+        # least one 0 and one 1 bit would do; this choice makes the initial
+        # state part of the recurrent state space so the minimal machine has
+        # exactly 2^n - 2 states.
+        return (1,) + (0,) * (self.associativity - 1)
+
+    def _mark(self, bits: Tuple[int, ...], line: int) -> Tuple[int, ...]:
+        marked = tuple(1 if i == line else bit for i, bit in enumerate(bits))
+        if all(marked):
+            # Normalize: clear every bit except the one just accessed.
+            return tuple(1 if i == line else 0 for i in range(len(bits)))
+        return marked
+
+    def _victim(self, bits: Tuple[int, ...]) -> int:
+        # For associativity 1 the single line is always the victim.
+        return bits.index(0) if 0 in bits else 0
+
+    def on_hit(self, state: PolicyState, line: int) -> PolicyState:
+        return self._mark(state, line)
+
+    def on_miss(self, state: PolicyState) -> Tuple[PolicyState, int]:
+        victim = self._victim(state)
+        return self._mark(state, victim), victim
+
+
+class NRUPolicy(MRUPolicy):
+    """Not Recently Used: like MRU but normalization clears *all* bits."""
+
+    name = "NRU"
+
+    def initial_state(self) -> PolicyState:
+        return (0,) * self.associativity
+
+    def _mark(self, bits: Tuple[int, ...], line: int) -> Tuple[int, ...]:
+        marked = tuple(1 if i == line else bit for i, bit in enumerate(bits))
+        if all(marked):
+            return (0,) * len(bits)
+        return marked

@@ -1,0 +1,83 @@
+"""Tree-based Pseudo-LRU (PLRU).
+
+PLRU arranges the ``n`` lines of a set (``n`` must be a power of two) as the
+leaves of a complete binary tree with ``n - 1`` internal nodes.  Each internal
+node holds one bit pointing towards the subtree that should be victimised
+next.  On an access (hit or fill), every node on the path from the root to
+the accessed leaf is flipped to point *away* from that leaf; on a miss the
+victim is found by following the pointers from the root.
+
+The control state is the tuple of the ``n - 1`` node bits, so the machine has
+``2^(n-1)`` states: 2, 8, 128 and 32768 for associativities 2, 4, 8 and 16 —
+exactly the numbers in Table 2.  The tree is stored in heap layout: node 0 is
+the root and node ``k`` has children ``2k + 1`` and ``2k + 2``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import PolicyError
+from repro.policies.base import PolicyState, ReplacementPolicy
+
+
+class PLRUPolicy(ReplacementPolicy):
+    """Tree-based Pseudo-LRU for power-of-two associativities."""
+
+    name = "PLRU"
+
+    def __init__(self, associativity: int) -> None:
+        super().__init__(associativity)
+        if associativity & (associativity - 1) != 0:
+            raise PolicyError(
+                f"PLRU requires a power-of-two associativity, got {associativity}"
+            )
+        self._levels = associativity.bit_length() - 1
+
+    def initial_state(self) -> PolicyState:
+        return tuple(0 for _ in range(self.associativity - 1))
+
+    # A bit value of 0 means "the victim is in the left subtree", 1 means right.
+
+    def _touch(self, bits: Tuple[int, ...], line: int) -> Tuple[int, ...]:
+        """Point every node on the path to ``line`` away from it."""
+        if self.associativity == 1:
+            return bits
+        new_bits = list(bits)
+        node = 0
+        low, high = 0, self.associativity
+        while high - low > 1:
+            mid = (low + high) // 2
+            if line < mid:
+                # Accessed leaf is on the left: point the node to the right.
+                new_bits[node] = 1
+                node = 2 * node + 1
+                high = mid
+            else:
+                new_bits[node] = 0
+                node = 2 * node + 2
+                low = mid
+        return tuple(new_bits)
+
+    def _victim(self, bits: Tuple[int, ...]) -> int:
+        """Follow the pointer bits from the root to the victim leaf."""
+        if self.associativity == 1:
+            return 0
+        node = 0
+        low, high = 0, self.associativity
+        while high - low > 1:
+            mid = (low + high) // 2
+            if bits[node] == 0:
+                node = 2 * node + 1
+                high = mid
+            else:
+                node = 2 * node + 2
+                low = mid
+        return low
+
+    def on_hit(self, state: PolicyState, line: int) -> PolicyState:
+        return self._touch(state, line)
+
+    def on_miss(self, state: PolicyState) -> Tuple[PolicyState, int]:
+        victim = self._victim(state)
+        return self._touch(state, victim), victim

@@ -1,0 +1,83 @@
+"""A small registry mapping policy names to factories.
+
+The experiment harness, the CacheQuery configuration files and the command
+line all refer to policies by name (``"LRU"``, ``"SRRIP-HP"``, ...); this
+module centralises that mapping so new policies only have to be registered
+once.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import PolicyError
+from repro.policies.base import ReplacementPolicy
+from repro.policies.clock import CLOCKPolicy
+from repro.policies.fifo import FIFOPolicy
+from repro.policies.lru import BIPPolicy, LIPPolicy, LRUPolicy
+from repro.policies.mru import MRUPolicy, NRUPolicy
+from repro.policies.new_intel import New1Policy, New2Policy
+from repro.policies.plru import PLRUPolicy
+from repro.policies.srrip import BRRIPPolicy, SRRIPPolicy
+
+PolicyFactory = Callable[[int], ReplacementPolicy]
+
+_REGISTRY: Dict[str, PolicyFactory] = {}
+
+
+def register_policy(name: str, factory: PolicyFactory) -> None:
+    """Register ``factory`` under ``name`` (case-insensitive).
+
+    Registering an existing name overwrites the previous factory; this is
+    intentional so tests can substitute instrumented policies.
+    """
+    _REGISTRY[name.upper()] = factory
+
+
+def make_policy(name: str, associativity: int) -> ReplacementPolicy:
+    """Instantiate the policy registered under ``name`` for ``associativity``."""
+    try:
+        factory = _REGISTRY[name.upper()]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise PolicyError(f"unknown policy {name!r}; known policies: {known}") from None
+    return factory(associativity)
+
+
+def available_policies() -> List[str]:
+    """Return the sorted list of registered policy names."""
+    return sorted(_REGISTRY)
+
+
+# -- default registrations ----------------------------------------------------
+
+register_policy("FIFO", FIFOPolicy)
+register_policy("LRU", LRUPolicy)
+register_policy("LIP", LIPPolicy)
+register_policy("BIP", BIPPolicy)
+register_policy("PLRU", PLRUPolicy)
+register_policy("MRU", MRUPolicy)
+register_policy("NRU", NRUPolicy)
+register_policy("CLOCK", CLOCKPolicy)
+register_policy("SRRIP-HP", lambda n: SRRIPPolicy(n, variant="HP"))
+register_policy("SRRIP-FP", lambda n: SRRIPPolicy(n, variant="FP"))
+register_policy("BRRIP-HP", lambda n: BRRIPPolicy(n, variant="HP"))
+register_policy("BRRIP-FP", lambda n: BRRIPPolicy(n, variant="FP"))
+register_policy("NEW1", New1Policy)
+register_policy("NEW2", New2Policy)
+
+#: Policies evaluated in the paper's Table 2 (software-simulated case study).
+TABLE2_POLICIES = ("FIFO", "LRU", "PLRU", "MRU", "LIP", "SRRIP-HP", "SRRIP-FP")
+
+#: Policies for which the paper synthesizes explanations (Table 5).
+TABLE5_POLICIES = (
+    "FIFO",
+    "LRU",
+    "PLRU",
+    "LIP",
+    "MRU",
+    "SRRIP-HP",
+    "SRRIP-FP",
+    "NEW1",
+    "NEW2",
+)

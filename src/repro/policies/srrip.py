@@ -1,0 +1,117 @@
+"""Static Re-Reference Interval Prediction (SRRIP) and a deterministic BRRIP.
+
+SRRIP (Jaleel et al., ISCA 2010) attaches an M-bit *re-reference prediction
+value* (RRPV, an "age") to every line.  With M bits the ages range over
+``0 .. 2^M - 1``; the paper uses M = 2, i.e. 4 ages.
+
+* **Eviction**: scan the lines left-to-right for one with the maximal age
+  (``2^M - 1``); if there is none, increment every age by one and repeat.
+  The increment loop is the *normalization before a miss* of Section 8.
+* **Insertion**: the filled line gets age ``2^M - 2`` (a "long" re-reference
+  interval).
+* **Promotion on a hit**: the *hit priority* variant (SRRIP-HP) resets the
+  accessed line's age to 0; the *frequency priority* variant (SRRIP-FP)
+  decrements it by one (saturating at 0).
+
+The control state is the tuple of per-line ages.  SRRIP-FP reaches all
+``(2^M)^n`` age vectors (256 for associativity 4 with 4 ages), SRRIP-HP a
+subset of them (178 for associativity 4), matching Table 2.
+
+**BRRIP** (Bimodal RRIP) is the RRIP analogue of BIP: most insertions use the
+maximal age ``2^M - 1`` and only every ``throttle``-th insertion uses
+``2^M - 2``.  The original uses randomness; we keep a deterministic modular
+counter so the policy stays a finite deterministic Mealy machine.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import PolicyError
+from repro.policies.base import PolicyState, ReplacementPolicy
+
+
+class SRRIPPolicy(ReplacementPolicy):
+    """SRRIP with ``2^bits`` ages, in the HP (hit-priority) or FP (frequency-priority) variant."""
+
+    def __init__(self, associativity: int, variant: str = "HP", bits: int = 2) -> None:
+        super().__init__(associativity)
+        variant = variant.upper()
+        if variant not in ("HP", "FP"):
+            raise PolicyError(f"SRRIP variant must be 'HP' or 'FP', got {variant!r}")
+        if bits < 1:
+            raise PolicyError(f"SRRIP needs at least 1 RRPV bit, got {bits}")
+        self.variant = variant
+        self.bits = bits
+        self.max_age = (1 << bits) - 1
+        self.insert_age = self.max_age - 1
+        self.name = f"SRRIP-{variant}"
+
+    def initial_state(self) -> PolicyState:
+        # All lines start "distant": the state right after a cache reset.
+        return (self.max_age,) * self.associativity
+
+    def on_hit(self, state: PolicyState, line: int) -> PolicyState:
+        ages = list(state)
+        if self.variant == "HP":
+            ages[line] = 0
+        else:
+            ages[line] = max(0, ages[line] - 1)
+        return tuple(ages)
+
+    def _normalize_for_eviction(self, ages: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Increment every age until some line reaches the maximal age."""
+        while self.max_age not in ages:
+            ages = tuple(age + 1 for age in ages)
+        return ages
+
+    def on_miss(self, state: PolicyState) -> Tuple[PolicyState, int]:
+        ages = self._normalize_for_eviction(tuple(state))
+        victim = ages.index(self.max_age)
+        new_ages = list(ages)
+        new_ages[victim] = self.insert_age
+        return tuple(new_ages), victim
+
+    def on_fill(self, state: PolicyState, line: int) -> PolicyState:
+        ages = list(state)
+        ages[line] = self.insert_age
+        return tuple(ages)
+
+
+class BRRIPPolicy(SRRIPPolicy):
+    """Bimodal RRIP with a deterministic insertion throttle (control state carries a counter)."""
+
+    def __init__(self, associativity: int, variant: str = "HP", bits: int = 2, throttle: int = 4) -> None:
+        super().__init__(associativity, variant, bits)
+        if throttle < 1:
+            raise PolicyError(f"BRRIP throttle must be >= 1, got {throttle}")
+        self.throttle = throttle
+        self.name = f"BRRIP-{variant}"
+
+    def initial_state(self) -> PolicyState:
+        return ((self.max_age,) * self.associativity, 0)
+
+    def on_hit(self, state: PolicyState, line: int) -> PolicyState:
+        ages, counter = state
+        return (super().on_hit(ages, line), counter)
+
+    def on_miss(self, state: PolicyState) -> Tuple[PolicyState, int]:
+        ages, counter = state
+        ages = self._normalize_for_eviction(tuple(ages))
+        victim = ages.index(self.max_age)
+        new_ages = list(ages)
+        if counter == self.throttle - 1:
+            new_ages[victim] = self.insert_age
+        else:
+            new_ages[victim] = self.max_age
+        next_counter = (counter + 1) % self.throttle
+        return (tuple(new_ages), next_counter), victim
+
+    def on_fill(self, state: PolicyState, line: int) -> PolicyState:
+        ages, counter = state
+        new_ages = list(ages)
+        if counter == self.throttle - 1:
+            new_ages[line] = self.insert_age
+        else:
+            new_ages[line] = self.max_age
+        return (tuple(new_ages), (counter + 1) % self.throttle)

@@ -1,0 +1,57 @@
+"""Template-based synthesis of policy explanations (Section 5).
+
+The learned Mealy machines are correct but hard to read.  This package
+derives human-readable explanations: small programs over per-line *ages*
+built from four rules — promotion (hits), eviction, insertion (misses) and
+normalization — the vocabulary cache designers themselves use (RRIP and
+friends).
+
+The paper encodes the template in Sketch and asks a SyGuS solver for an
+instantiation consistent with the learned automaton.  Sketch is not
+available offline, so :mod:`repro.synthesis.synthesizer` implements an
+enumerative, CEGIS-style search over the same rule grammars; a candidate is
+accepted only if the policy it denotes is *trace-equivalent* to the learned
+machine, so the soundness guarantee of Section 5 is preserved.
+"""
+
+from repro.synthesis.expr import AgeVar, BoolExpr, Comparison, Constant, NatExpr, Sum, TrueExpr
+from repro.synthesis.rules import (
+    EvictionRule,
+    NormalizationRule,
+    UpdateBranch,
+    UpdateRule,
+)
+from repro.synthesis.template import ExplanationProgram, SynthesizedPolicy
+from repro.synthesis.grammar import GrammarConfig, extended_grammar, simple_grammar
+from repro.synthesis.synthesizer import (
+    SynthesisConfig,
+    SynthesisResult,
+    explain_policy,
+    synthesize_explanation,
+)
+from repro.synthesis.reference import reference_explanation, reference_explanations
+
+__all__ = [
+    "AgeVar",
+    "BoolExpr",
+    "Comparison",
+    "Constant",
+    "NatExpr",
+    "Sum",
+    "TrueExpr",
+    "EvictionRule",
+    "NormalizationRule",
+    "UpdateBranch",
+    "UpdateRule",
+    "ExplanationProgram",
+    "SynthesizedPolicy",
+    "GrammarConfig",
+    "extended_grammar",
+    "simple_grammar",
+    "SynthesisConfig",
+    "SynthesisResult",
+    "explain_policy",
+    "synthesize_explanation",
+    "reference_explanation",
+    "reference_explanations",
+]

@@ -1,0 +1,256 @@
+"""Rule grammars: the finite candidate spaces the synthesizer searches.
+
+Two grammars are provided, mirroring the paper's two templates:
+
+* the **Simple** grammar fixes both normalization slots to the identity and
+  only allows single-branch promotions;
+* the **Extended** grammar adds the normalization rules (age-increment loops
+  and the MRU-style reset) and two-branch promotions.
+
+The grammars are deliberately finite and fairly small — a few thousand rule
+combinations per template — which is what makes the enumerative search
+practical while still covering every policy the paper explains (FIFO, LRU,
+LIP, MRU, SRRIP-HP, SRRIP-FP, New1, New2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.synthesis.expr import AGE_OTHER, AGE_SELF, AgeVar, Comparison, Constant, NatExpr, Sum, TrueExpr
+from repro.synthesis.rules import EvictionRule, NormalizationRule, UpdateBranch, UpdateRule
+
+Ages = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class GrammarConfig:
+    """A concrete search space for one synthesis attempt."""
+
+    name: str
+    associativity: int
+    max_age: int
+    initial_ages: Tuple[Ages, ...]
+    promotion_rules: Tuple[UpdateRule, ...]
+    insertion_rules: Tuple[UpdateRule, ...]
+    eviction_rules: Tuple[EvictionRule, ...]
+    pre_miss_normalizations: Tuple[NormalizationRule, ...]
+    post_normalizations: Tuple[NormalizationRule, ...]
+
+    @property
+    def size(self) -> int:
+        """Total number of template instantiations in this grammar."""
+        return (
+            len(self.initial_ages)
+            * len(self.promotion_rules)
+            * len(self.insertion_rules)
+            * len(self.eviction_rules)
+            * len(self.pre_miss_normalizations)
+            * len(self.post_normalizations)
+        )
+
+
+# ------------------------------------------------------------- building blocks
+
+
+def initial_age_candidates(associativity: int, max_age: int) -> List[Ages]:
+    """Initial control states considered by the search.
+
+    The candidates cover the shapes that occur in practice: a uniform vector
+    (SRRIP, New2), a uniform vector with one distinguished first or last line
+    (MRU, New1), and the ascending/descending permutations capped at
+    ``max_age`` (LRU, LIP, FIFO).
+    """
+    candidates: List[Ages] = []
+    for value in range(max_age + 1):
+        candidates.append((value,) * associativity)
+    for base in range(max_age + 1):
+        for odd in range(max_age + 1):
+            if odd == base:
+                continue
+            candidates.append((base,) * (associativity - 1) + (odd,))
+            candidates.append((odd,) + (base,) * (associativity - 1))
+    ascending = tuple(min(i, max_age) for i in range(associativity))
+    descending = tuple(reversed(ascending))
+    candidates.append(ascending)
+    candidates.append(descending)
+    unique: List[Ages] = []
+    for candidate in candidates:
+        if candidate not in unique:
+            unique.append(candidate)
+    return unique
+
+
+def _self_conditions(max_age: int, extended: bool) -> List:
+    conditions = [TrueExpr()]
+    self_var = AgeVar(AGE_SELF)
+    for value in range(max_age + 1):
+        conditions.append(Comparison(self_var, "==", Constant(value)))
+    if extended:
+        for value in range(max_age):
+            conditions.append(Comparison(self_var, ">", Constant(value)))
+            conditions.append(Comparison(self_var, "<", Constant(value + 1)))
+    return conditions
+
+
+def _self_values(max_age: int) -> List[NatExpr]:
+    values: List[NatExpr] = [Constant(value) for value in range(max_age + 1)]
+    values.append(Sum(AgeVar(AGE_SELF), +1))
+    values.append(Sum(AgeVar(AGE_SELF), -1))
+    return values
+
+
+def _others_updates(extended: bool) -> List[Tuple]:
+    """Return (condition, value) pairs for the "update the other lines" loop."""
+    other = AgeVar(AGE_OTHER)
+    self_var = AgeVar(AGE_SELF)
+    pairs: List[Tuple] = [(None, None)]
+    conditions = [
+        TrueExpr(),
+        Comparison(other, "<", self_var),
+        Comparison(other, ">", self_var),
+    ]
+    if extended:
+        conditions.append(Comparison(other, "!=", self_var))
+    values: List[NatExpr] = [Sum(other, +1), Sum(other, -1)]
+    if extended:
+        values.append(Constant(0))
+    for condition in conditions:
+        for value in values:
+            pairs.append((condition, value))
+    return pairs
+
+
+def promotion_rules(max_age: int, extended: bool) -> List[UpdateRule]:
+    """Candidate promotion rules (applied to the accessed line on a hit)."""
+    rules: List[UpdateRule] = [UpdateRule()]  # FIFO-style: hits change nothing.
+    single_branches = [
+        UpdateBranch(condition, value)
+        for condition in _self_conditions(max_age, extended)
+        for value in _self_values(max_age)
+    ]
+    others = _others_updates(extended)
+    for branch in single_branches:
+        for condition, value in others:
+            rules.append(
+                UpdateRule(
+                    branches=(branch,),
+                    others_condition=condition,
+                    others_value=value,
+                )
+            )
+    if extended:
+        # Two-branch promotions (needed for New2: "if age == 1 set 0, else set 1").
+        self_var = AgeVar(AGE_SELF)
+        constants = [Constant(value) for value in range(max_age + 1)]
+        for first_age in range(max_age + 1):
+            first_condition = Comparison(self_var, "==", Constant(first_age))
+            for first_value in constants:
+                for second_value in constants:
+                    rules.append(
+                        UpdateRule(
+                            branches=(
+                                UpdateBranch(first_condition, first_value),
+                                UpdateBranch(TrueExpr(), second_value),
+                            )
+                        )
+                    )
+    return rules
+
+
+def insertion_rules(max_age: int, extended: bool) -> List[UpdateRule]:
+    """Candidate insertion rules (applied to the evicted line on a miss).
+
+    The Extended grammar keeps the "update the other lines" loop small (no
+    update, or a plain recency shift): every policy the paper explains with
+    the Extended template (MRU, SRRIP, New1, New2) only rewrites the evicted
+    line on insertion, and the richer loops are already available in the
+    Simple grammar where FIFO/LRU need them.  This keeps the candidate space
+    — and with it the synthesis time — manageable.
+    """
+    values: List[NatExpr] = [Constant(value) for value in range(max_age + 1)]
+    values.append(Sum(AgeVar(AGE_SELF), -1))
+    if extended:
+        values.append(Sum(AgeVar(AGE_SELF), +1))
+    other = AgeVar(AGE_OTHER)
+    self_var = AgeVar(AGE_SELF)
+    if extended:
+        others: List[Tuple] = [
+            (None, None),
+            (TrueExpr(), Sum(other, +1)),
+            (Comparison(other, "<", self_var), Sum(other, +1)),
+        ]
+    else:
+        others = _others_updates(extended)
+    rules: List[UpdateRule] = []
+    for value in values:
+        for condition, others_value in others:
+            rules.append(
+                UpdateRule(
+                    branches=(UpdateBranch(TrueExpr(), value),),
+                    others_condition=condition,
+                    others_value=others_value,
+                )
+            )
+    return rules
+
+
+def eviction_rules(max_age: int) -> List[EvictionRule]:
+    """Candidate eviction rules."""
+    rules = [EvictionRule("first_with_age", age) for age in range(max_age + 1)]
+    rules.append(EvictionRule("leftmost_max"))
+    rules.append(EvictionRule("leftmost_min"))
+    return rules
+
+
+def pre_miss_normalizations(max_age: int, extended: bool) -> List[NormalizationRule]:
+    """Candidate normalizations applied at the start of the miss path."""
+    rules = [NormalizationRule("identity")]
+    if extended:
+        rules.append(NormalizationRule("age_until_max", target=max_age, skip_touched=False))
+    return rules
+
+
+def post_normalizations(max_age: int, extended: bool) -> List[NormalizationRule]:
+    """Candidate normalizations applied after every hit and miss update."""
+    rules = [NormalizationRule("identity")]
+    if extended:
+        rules.append(NormalizationRule("age_until_max", target=max_age, skip_touched=True))
+        rules.append(NormalizationRule("age_until_max", target=max_age, skip_touched=False))
+        rules.append(NormalizationRule("reset_when_all", target=1, reset_value=0))
+        rules.append(NormalizationRule("reset_when_all", target=max_age, reset_value=0))
+    return rules
+
+
+# --------------------------------------------------------------- full grammars
+
+
+def simple_grammar(associativity: int, max_age: int = 3) -> GrammarConfig:
+    """The Simple template: identity normalization, single-branch promotions."""
+    return GrammarConfig(
+        name="Simple",
+        associativity=associativity,
+        max_age=max_age,
+        initial_ages=tuple(initial_age_candidates(associativity, max_age)),
+        promotion_rules=tuple(promotion_rules(max_age, extended=False)),
+        insertion_rules=tuple(insertion_rules(max_age, extended=False)),
+        eviction_rules=tuple(eviction_rules(max_age)),
+        pre_miss_normalizations=tuple(pre_miss_normalizations(max_age, extended=False)),
+        post_normalizations=tuple(post_normalizations(max_age, extended=False)),
+    )
+
+
+def extended_grammar(associativity: int, max_age: int = 3) -> GrammarConfig:
+    """The Extended template: normalization rules and a richer expression grammar."""
+    return GrammarConfig(
+        name="Extended",
+        associativity=associativity,
+        max_age=max_age,
+        initial_ages=tuple(initial_age_candidates(associativity, max_age)),
+        promotion_rules=tuple(promotion_rules(max_age, extended=True)),
+        insertion_rules=tuple(insertion_rules(max_age, extended=True)),
+        eviction_rules=tuple(eviction_rules(max_age)),
+        pre_miss_normalizations=tuple(pre_miss_normalizations(max_age, extended=True)),
+        post_normalizations=tuple(post_normalizations(max_age, extended=True)),
+    )

@@ -1,0 +1,177 @@
+"""Reference explanations (Section 8.2 / Appendix C).
+
+These are the hand-transcribed explanation programs the paper reports —
+most importantly the two previously undocumented Intel policies New1 and
+New2.  They serve two purposes:
+
+* the tests cross-check them against the corresponding policy
+  implementations in :mod:`repro.policies` (they must be trace-equivalent);
+* the synthesis benchmarks compare the synthesizer's output against them, so
+  a regression in either the grammar or the policies is caught immediately.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import SynthesisError
+from repro.synthesis.expr import AGE_OTHER, AGE_SELF, AgeVar, Comparison, Constant, Sum, TrueExpr
+from repro.synthesis.rules import EvictionRule, NormalizationRule, UpdateBranch, UpdateRule
+from repro.synthesis.template import ExplanationProgram
+
+_MAX_AGE = 3
+
+
+def _new1(associativity: int = 4) -> ExplanationProgram:
+    return ExplanationProgram(
+        associativity=associativity,
+        initial_ages=(_MAX_AGE,) * (associativity - 1) + (0,),
+        promotion=UpdateRule(branches=(UpdateBranch(TrueExpr(), Constant(0)),)),
+        insertion=UpdateRule(branches=(UpdateBranch(TrueExpr(), Constant(1)),)),
+        eviction=EvictionRule("first_with_age", _MAX_AGE),
+        pre_miss_normalization=NormalizationRule("identity"),
+        post_normalization=NormalizationRule(
+            "age_until_max", target=_MAX_AGE, skip_touched=True
+        ),
+        max_age=_MAX_AGE,
+        name="New1",
+    )
+
+
+def _new2(associativity: int = 4) -> ExplanationProgram:
+    return ExplanationProgram(
+        associativity=associativity,
+        initial_ages=(_MAX_AGE,) * associativity,
+        promotion=UpdateRule(
+            branches=(
+                UpdateBranch(Comparison(AgeVar(AGE_SELF), "==", Constant(1)), Constant(0)),
+                UpdateBranch(TrueExpr(), Constant(1)),
+            )
+        ),
+        insertion=UpdateRule(branches=(UpdateBranch(TrueExpr(), Constant(1)),)),
+        eviction=EvictionRule("first_with_age", _MAX_AGE),
+        pre_miss_normalization=NormalizationRule("identity"),
+        post_normalization=NormalizationRule(
+            "age_until_max", target=_MAX_AGE, skip_touched=False
+        ),
+        max_age=_MAX_AGE,
+        name="New2",
+    )
+
+
+def _srrip(variant: str, associativity: int = 4) -> ExplanationProgram:
+    if variant == "HP":
+        promotion = UpdateRule(branches=(UpdateBranch(TrueExpr(), Constant(0)),))
+    else:
+        promotion = UpdateRule(branches=(UpdateBranch(TrueExpr(), Sum(AgeVar(AGE_SELF), -1)),))
+    return ExplanationProgram(
+        associativity=associativity,
+        initial_ages=(_MAX_AGE,) * associativity,
+        promotion=promotion,
+        insertion=UpdateRule(branches=(UpdateBranch(TrueExpr(), Constant(_MAX_AGE - 1)),)),
+        eviction=EvictionRule("first_with_age", _MAX_AGE),
+        pre_miss_normalization=NormalizationRule(
+            "age_until_max", target=_MAX_AGE, skip_touched=False
+        ),
+        post_normalization=NormalizationRule("identity"),
+        max_age=_MAX_AGE,
+        name=f"SRRIP-{variant}",
+    )
+
+
+def _lru(associativity: int = 4) -> ExplanationProgram:
+    other_lt_self = Comparison(AgeVar(AGE_OTHER), "<", AgeVar(AGE_SELF))
+    return ExplanationProgram(
+        associativity=associativity,
+        initial_ages=tuple(range(associativity)),
+        promotion=UpdateRule(
+            branches=(UpdateBranch(TrueExpr(), Constant(0)),),
+            others_condition=other_lt_self,
+            others_value=Sum(AgeVar(AGE_OTHER), +1),
+        ),
+        insertion=UpdateRule(
+            branches=(UpdateBranch(TrueExpr(), Constant(0)),),
+            others_condition=other_lt_self,
+            others_value=Sum(AgeVar(AGE_OTHER), +1),
+        ),
+        eviction=EvictionRule("first_with_age", associativity - 1),
+        max_age=associativity - 1,
+        name="LRU",
+    )
+
+
+def _lip(associativity: int = 4) -> ExplanationProgram:
+    other_lt_self = Comparison(AgeVar(AGE_OTHER), "<", AgeVar(AGE_SELF))
+    return ExplanationProgram(
+        associativity=associativity,
+        initial_ages=tuple(range(associativity)),
+        promotion=UpdateRule(
+            branches=(UpdateBranch(TrueExpr(), Constant(0)),),
+            others_condition=other_lt_self,
+            others_value=Sum(AgeVar(AGE_OTHER), +1),
+        ),
+        insertion=UpdateRule(
+            branches=(UpdateBranch(TrueExpr(), Constant(associativity - 1)),)
+        ),
+        eviction=EvictionRule("first_with_age", associativity - 1),
+        max_age=associativity - 1,
+        name="LIP",
+    )
+
+
+def _fifo(associativity: int = 4) -> ExplanationProgram:
+    return ExplanationProgram(
+        associativity=associativity,
+        initial_ages=tuple(reversed(range(associativity))),
+        promotion=UpdateRule(),
+        insertion=UpdateRule(
+            branches=(UpdateBranch(TrueExpr(), Constant(0)),),
+            others_condition=TrueExpr(),
+            others_value=Sum(AgeVar(AGE_OTHER), +1),
+        ),
+        eviction=EvictionRule("first_with_age", associativity - 1),
+        max_age=associativity - 1,
+        name="FIFO",
+    )
+
+
+def _mru(associativity: int = 4) -> ExplanationProgram:
+    return ExplanationProgram(
+        associativity=associativity,
+        initial_ages=(1,) + (0,) * (associativity - 1),
+        promotion=UpdateRule(branches=(UpdateBranch(TrueExpr(), Constant(1)),)),
+        insertion=UpdateRule(branches=(UpdateBranch(TrueExpr(), Constant(1)),)),
+        eviction=EvictionRule("first_with_age", 0),
+        post_normalization=NormalizationRule("reset_when_all", target=1, reset_value=0),
+        max_age=_MAX_AGE,
+        name="MRU",
+    )
+
+
+_FACTORIES = {
+    "NEW1": _new1,
+    "NEW2": _new2,
+    "SRRIP-HP": lambda associativity=4: _srrip("HP", associativity),
+    "SRRIP-FP": lambda associativity=4: _srrip("FP", associativity),
+    "LRU": _lru,
+    "LIP": _lip,
+    "FIFO": _fifo,
+    "MRU": _mru,
+}
+
+
+def reference_explanation(name: str, associativity: int = 4) -> ExplanationProgram:
+    """Return the paper's reference explanation for ``name`` at ``associativity``."""
+    try:
+        factory = _FACTORIES[name.upper()]
+    except KeyError:
+        known = ", ".join(sorted(_FACTORIES))
+        raise SynthesisError(
+            f"no reference explanation for {name!r}; known: {known}"
+        ) from None
+    return factory(associativity)
+
+
+def reference_explanations(associativity: int = 4) -> Dict[str, ExplanationProgram]:
+    """Return every reference explanation at the given associativity."""
+    return {name: factory(associativity) for name, factory in _FACTORIES.items()}

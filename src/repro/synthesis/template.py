@@ -1,0 +1,123 @@
+"""The explanation template and the policies it denotes.
+
+:class:`ExplanationProgram` is the instantiated template of Section 5: an
+initial age vector plus promotion / eviction / insertion / normalization
+rules.  Its :meth:`hit` and :meth:`miss` methods follow the paper's template
+verbatim (promotion then normalization on a hit; normalization, eviction,
+insertion, normalization on a miss).  :class:`SynthesizedPolicy` wraps a
+program as a regular :class:`~repro.policies.base.ReplacementPolicy`, so the
+synthesizer can check candidates by Mealy trace-equivalence and users can
+plug synthesized explanations straight back into simulators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.errors import SynthesisError
+from repro.policies.base import PolicyState, ReplacementPolicy
+from repro.synthesis.rules import EvictionRule, NormalizationRule, UpdateRule
+
+Ages = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class ExplanationProgram:
+    """A complete instantiation of the explanation template."""
+
+    associativity: int
+    initial_ages: Ages
+    promotion: UpdateRule
+    insertion: UpdateRule
+    eviction: EvictionRule
+    pre_miss_normalization: NormalizationRule = field(default_factory=NormalizationRule)
+    post_normalization: NormalizationRule = field(default_factory=NormalizationRule)
+    max_age: int = 3
+    name: str = "synthesized"
+
+    def __post_init__(self) -> None:
+        if len(self.initial_ages) != self.associativity:
+            raise SynthesisError(
+                f"initial ages must have length {self.associativity}, got "
+                f"{len(self.initial_ages)}"
+            )
+        if any(age < 0 or age > self.max_age for age in self.initial_ages):
+            raise SynthesisError("initial ages must lie within 0..max_age")
+
+    # ------------------------------------------------------- template functions
+
+    def hit(self, ages: Ages, line: int) -> Ages:
+        """The template's ``hit`` function: promotion then normalization."""
+        ages = self.promotion.apply(ages, line, self.max_age)
+        return self.post_normalization.apply(ages, line, self.max_age)
+
+    def miss(self, ages: Ages) -> Tuple[Ages, int]:
+        """The template's ``miss`` function: normalize, evict, insert, normalize."""
+        ages = self.pre_miss_normalization.apply(ages, None, self.max_age)
+        victim = self.eviction.select(ages)
+        ages = self.insertion.apply(ages, victim, self.max_age)
+        ages = self.post_normalization.apply(ages, victim, self.max_age)
+        return ages, victim
+
+    # ---------------------------------------------------------------- exports
+
+    def as_policy(self) -> "SynthesizedPolicy":
+        """Wrap the program as a regular replacement policy."""
+        return SynthesizedPolicy(self)
+
+    @property
+    def is_simple(self) -> bool:
+        """True when both normalization slots are the identity (the Simple template)."""
+        return (
+            self.pre_miss_normalization.kind == "identity"
+            and self.post_normalization.kind == "identity"
+        )
+
+    def pretty(self) -> str:
+        """Render the explanation in the style of Section 8.2."""
+        template = "Simple" if self.is_simple else "Extended"
+        lines = [
+            f"Policy explanation ({self.name}, associativity {self.associativity}, "
+            f"{template} template)",
+            f"  * Initial control state: {{{', '.join(str(a) for a in self.initial_ages)}}}",
+            f"  * Promote  (on a hit): {self.promotion.describe()}",
+            f"  * Evict    (on a miss): {self.eviction.describe()}",
+            f"  * Insert   (on a miss): {self.insertion.describe()}",
+        ]
+        if self.pre_miss_normalization.kind != "identity":
+            lines.append(
+                f"  * Normalize (before eviction): {self.pre_miss_normalization.describe()}"
+            )
+        if self.post_normalization.kind != "identity":
+            lines.append(
+                f"  * Normalize (after a hit or a miss): {self.post_normalization.describe()}"
+            )
+        if self.is_simple:
+            lines.append("  * Normalize: identity")
+        return "\n".join(lines)
+
+
+class SynthesizedPolicy(ReplacementPolicy):
+    """A replacement policy defined by an :class:`ExplanationProgram`."""
+
+    def __init__(self, program: ExplanationProgram) -> None:
+        super().__init__(program.associativity)
+        self.program = program
+        self.name = program.name
+
+    def initial_state(self) -> PolicyState:
+        return tuple(self.program.initial_ages)
+
+    def on_hit(self, state: PolicyState, line: int) -> PolicyState:
+        return self.program.hit(tuple(state), line)
+
+    def on_miss(self, state: PolicyState) -> Tuple[PolicyState, int]:
+        return self.program.miss(tuple(state))
+
+    def on_fill(self, state: PolicyState, line: int) -> PolicyState:
+        # Fills apply the insertion rule to the filled line, followed by the
+        # usual normalization — the same convention as the hand-written
+        # policies in ``repro.policies``.
+        ages = self.program.insertion.apply(tuple(state), line, self.program.max_age)
+        return self.program.post_normalization.apply(ages, line, self.program.max_age)

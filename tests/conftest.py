@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.cpu import SimulatedCPU
+from repro.hardware.profiles import SKYLAKE_I5_6500
+from repro.hardware.timing import NoiseModel
+from repro.policies.registry import available_policies, make_policy
+
+#: Policies exercised by the generic policy tests, with a representative
+#: associativity each (kept small so the whole suite stays fast).
+POLICY_CASES = [
+    ("FIFO", 4),
+    ("LRU", 4),
+    ("LIP", 4),
+    ("BIP", 4),
+    ("PLRU", 4),
+    ("PLRU", 8),
+    ("MRU", 4),
+    ("NRU", 4),
+    ("CLOCK", 4),
+    ("SRRIP-HP", 4),
+    ("SRRIP-FP", 4),
+    ("BRRIP-HP", 4),
+    ("NEW1", 4),
+    ("NEW2", 4),
+]
+
+
+@pytest.fixture(params=POLICY_CASES, ids=[f"{n}-{a}" for n, a in POLICY_CASES])
+def policy(request):
+    """Every registered policy at a representative associativity."""
+    name, associativity = request.param
+    return make_policy(name, associativity)
+
+
+@pytest.fixture(scope="session")
+def skylake_cpu():
+    """A noise-free simulated Skylake CPU shared by read-mostly tests."""
+    return SimulatedCPU(SKYLAKE_I5_6500, noise=NoiseModel(std=0.0))
+
+
+@pytest.fixture()
+def fresh_skylake_cpu():
+    """A fresh noise-free Skylake CPU for tests that mutate cache state."""
+    return SimulatedCPU(SKYLAKE_I5_6500, noise=NoiseModel(std=0.0))
+
+
+def all_policy_names():
+    """Names of every registered policy (helper for parametrized tests)."""
+    return available_policies()

@@ -1,0 +1,55 @@
+"""Tests for the eviction-strategy analysis built on policy models."""
+
+import pytest
+
+from repro.analysis import optimal_eviction_strategy
+from repro.errors import PolicyError
+from repro.policies.registry import make_policy
+from repro.synthesis import reference_explanation
+
+
+class TestOptimalEvictionStrategy:
+    def test_lru_needs_exactly_associativity_accesses(self):
+        strategy = optimal_eviction_strategy(make_policy("LRU", 4))
+        assert strategy is not None
+        assert strategy.length == 4
+        assert strategy.distinct_blocks == 4
+
+    def test_fifo_cost_depends_on_victim_position(self):
+        # FIFO evicts in insertion order: evicting the line about to be
+        # replaced next is cheap, the last line is expensive.
+        cheap = optimal_eviction_strategy(make_policy("FIFO", 4), victim_line=0)
+        expensive = optimal_eviction_strategy(make_policy("FIFO", 4), victim_line=3)
+        assert cheap is not None and expensive is not None
+        assert cheap.length == 1
+        assert expensive.length == 4
+
+    def test_plru_can_be_cheaper_than_lru(self):
+        strategy = optimal_eviction_strategy(make_policy("PLRU", 8))
+        assert strategy is not None
+        # Tree PLRU is known to allow eviction with fewer than associativity
+        # accesses from favourable states.
+        assert strategy.length <= 8
+
+    def test_new1_strategy_exists_and_is_minimal_by_construction(self):
+        strategy = optimal_eviction_strategy(make_policy("NEW1", 4))
+        assert strategy is not None
+        assert 1 <= strategy.length <= 8
+        # No shorter strategy exists: re-running with a tighter bound fails.
+        assert (
+            optimal_eviction_strategy(make_policy("NEW1", 4), max_length=strategy.length - 1)
+            is None
+        )
+
+    def test_synthesized_policies_are_usable_as_input(self):
+        policy = reference_explanation("NEW2", 4).as_policy()
+        strategy = optimal_eviction_strategy(policy)
+        assert strategy is not None
+        assert strategy.policy == "New2"
+
+    def test_invalid_victim_line_rejected(self):
+        with pytest.raises(PolicyError):
+            optimal_eviction_strategy(make_policy("LRU", 4), victim_line=4)
+
+    def test_unreachable_budget_returns_none(self):
+        assert optimal_eviction_strategy(make_policy("LRU", 4), max_length=2) is None

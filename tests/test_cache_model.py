@@ -1,0 +1,285 @@
+"""Tests for the cache substrates: sets, addressing, levels, hierarchy, CAT, adaptivity."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.adaptive import AdaptiveSetSelector, SetDuelingController
+from repro.cache.addressing import AddressMapper, slice_hash
+from repro.cache.cache import AdaptiveConfig, SetAssociativeCache
+from repro.cache.cacheset import HIT, MISS, CacheSet, SimulatedCacheSet
+from repro.cache.cat import CATConfig
+from repro.cache.hierarchy import CacheHierarchy, CacheLevelConfig
+from repro.errors import AddressingError, CacheError
+from repro.policies import LRUPolicy, New2Policy
+from repro.policies.registry import make_policy
+
+
+class TestCacheSet:
+    def test_definition_2_3_semantics_for_lru(self):
+        """The running example of Section 2.3 (Example 2.4)."""
+        cache = CacheSet(LRUPolicy(2), initial_content=["A", "B"])
+        assert cache.access("B") == HIT
+        assert cache.access("A") == HIT
+        assert cache.access("C") == MISS
+        # C replaced the least recently used block, which was B.
+        assert cache.contains("C") and cache.contains("A") and not cache.contains("B")
+
+    def test_initial_content_validation(self):
+        with pytest.raises(CacheError):
+            CacheSet(LRUPolicy(2), initial_content=["A"])
+        with pytest.raises(CacheError):
+            CacheSet(LRUPolicy(2), initial_content=["A", "A"])
+
+    def test_access_none_rejected(self):
+        with pytest.raises(CacheError):
+            CacheSet(LRUPolicy(2)).access(None)
+
+    def test_invalid_lines_filled_first_in_order(self):
+        cache = CacheSet(make_policy("NEW1", 4))
+        victims = [cache.access_returning_victim(block)[1] for block in "ABCD"]
+        assert victims == [0, 1, 2, 3]
+        assert cache.content == list("ABCD")
+
+    def test_flush_and_full_invalidation_reset_policy_state(self):
+        policy = make_policy("NEW2", 4)
+        cache = CacheSet(policy)
+        for block in "ABCD":
+            cache.access(block)
+        cache.access("E")  # perturb the control state
+        for block in "ABCDE":
+            cache.flush(block)
+        assert cache.policy_state == policy.initial_state()
+        assert cache.valid_blocks == ()
+
+    def test_flush_missing_block_returns_false(self):
+        cache = CacheSet(LRUPolicy(2), initial_content=["A", "B"])
+        assert cache.flush("Z") is False
+        assert cache.flush("A") is True
+
+    def test_snapshot_restore(self):
+        cache = CacheSet(LRUPolicy(2), initial_content=["A", "B"])
+        snapshot = cache.snapshot()
+        cache.access("C")
+        cache.restore(snapshot)
+        assert cache.contains("A") and cache.contains("B")
+
+    def test_run_returns_full_trace(self):
+        cache = CacheSet(LRUPolicy(2), initial_content=["A", "B"])
+        trace = cache.run(["A", "C", "A"])
+        assert trace.outputs == (HIT, MISS, HIT)
+
+
+class TestSimulatedCacheSet:
+    def test_probe_resets_between_calls(self):
+        simulated = SimulatedCacheSet(LRUPolicy(2), initial_content=["A", "B"])
+        assert simulated.probe(["C"]) == (MISS,)
+        # The previous probe must not leak into this one: A is present again.
+        assert simulated.probe(["A"]) == (HIT,)
+
+    def test_probe_last_and_counters(self):
+        simulated = SimulatedCacheSet(LRUPolicy(2), initial_content=["A", "B"])
+        assert simulated.probe_last(["C", "A"]) == HIT
+        assert simulated.probe_count == 1
+        assert simulated.access_count == 2
+        simulated.reset_statistics()
+        assert simulated.probe_count == 0
+
+    def test_probe_last_requires_blocks(self):
+        with pytest.raises(CacheError):
+            SimulatedCacheSet(LRUPolicy(2)).probe_last([])
+
+
+class TestAddressing:
+    def test_set_index_uses_low_bits(self):
+        mapper = AddressMapper(sets_per_slice=64)
+        assert mapper.set_index(0) == 0
+        assert mapper.set_index(64 * 3) == 3
+        assert mapper.set_index(64 * 64) == 0  # wraps after 64 sets
+
+    def test_block_id_strips_offset(self):
+        mapper = AddressMapper(sets_per_slice=64)
+        assert mapper.block_id(0x1234) == 0x1234 >> 6
+
+    def test_slice_hash_range_and_determinism(self):
+        for address in range(0, 1 << 20, 4096):
+            slice_id = slice_hash(address, 8)
+            assert 0 <= slice_id < 8
+            assert slice_id == slice_hash(address, 8)
+
+    def test_slice_hash_distributes(self):
+        counts = {}
+        for address in range(0, 1 << 22, 64):
+            counts[slice_hash(address, 4)] = counts.get(slice_hash(address, 4), 0) + 1
+        assert len(counts) == 4
+        total = sum(counts.values())
+        for value in counts.values():
+            assert value > total / 16  # no slice is starved
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(AddressingError):
+            AddressMapper(sets_per_slice=48)
+        with pytest.raises(AddressingError):
+            slice_hash(0, 3)
+
+    def test_congruent_addresses_are_congruent_and_distinct(self):
+        mapper = AddressMapper(sets_per_slice=1024, slices=8)
+        addresses = mapper.congruent_addresses(17, 3, 12)
+        assert len(set(addresses)) == 12
+        for address in addresses:
+            assert mapper.locate(address) == (3, 17)
+
+    def test_congruent_addresses_out_of_range(self):
+        mapper = AddressMapper(sets_per_slice=64)
+        with pytest.raises(AddressingError):
+            mapper.congruent_addresses(64, 0, 4)
+
+
+class TestSetAssociativeCache:
+    def _cache(self, **kwargs):
+        return SetAssociativeCache("L2", 4, AddressMapper(sets_per_slice=16), "LRU", **kwargs)
+
+    def test_hit_after_fill(self):
+        cache = self._cache()
+        assert cache.access(0x1000) == MISS
+        assert cache.access(0x1000) == HIT
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_different_sets_do_not_interfere(self):
+        cache = self._cache()
+        cache.access(0x0)
+        cache.access(0x40)  # next set
+        assert cache.contains(0x0) and cache.contains(0x40)
+
+    def test_flush(self):
+        cache = self._cache()
+        cache.access(0x2000)
+        assert cache.flush(0x2000) is True
+        assert cache.access(0x2000) == MISS
+
+    def test_cat_reduces_effective_associativity(self):
+        cache = self._cache(cat=CATConfig.reduce_to(2))
+        assert cache.effective_associativity == 2
+        base = 0x0
+        stride = 16 * 64
+        for index in range(3):
+            cache.access(base + index * stride)
+        # Only two ways are usable, so the first block must have been evicted.
+        assert cache.access(base) == MISS
+
+    def test_cat_unsupported_rejected(self):
+        config = CATConfig(supported=False, way_mask=0x3)
+        with pytest.raises(CacheError):
+            config.effective_associativity(8)
+
+    def test_cat_empty_mask_rejected(self):
+        with pytest.raises(CacheError):
+            CATConfig.reduce_to(0)
+
+    def test_adaptive_roles_and_follower_nondeterminism_hooks(self):
+        selector = AdaptiveSetSelector(scheme="skylake")
+        adaptive = AdaptiveConfig(selector, "NEW2", "BRRIP-HP")
+        cache = SetAssociativeCache(
+            "L3", 4, AddressMapper(sets_per_slice=1024, slices=1), "NEW2", adaptive=adaptive
+        )
+        assert cache.set_role(0) == "leader_a"
+        assert cache.set_role(1) == "follower"
+        # Accessing a leader set updates the dueling counter on misses.
+        before = adaptive.controller.value
+        cache.access(0)
+        assert adaptive.controller.value >= before
+
+
+class TestAdaptiveSelector:
+    def test_skylake_formula(self):
+        selector = AdaptiveSetSelector(scheme="skylake")
+        leaders = selector.leader_a_sets(1024)
+        for set_index in leaders:
+            folded = ((set_index & 0x3E0) >> 5) ^ (set_index & 0x1F)
+            assert folded == 0 and (set_index & 0x2) == 0
+        assert 0 in leaders and len(leaders) == 16
+
+    def test_haswell_ranges(self):
+        selector = AdaptiveSetSelector(scheme="haswell")
+        assert selector.role(512, 0) == "leader_a"
+        assert selector.role(800, 0) == "leader_b"
+        assert selector.role(512, 1) == "follower"  # leader sets only in slice 0
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveSetSelector(scheme="???").role(0)
+
+    def test_psel_counter_saturates_and_flips(self):
+        controller = SetDuelingController(bits=4)
+        for _ in range(100):
+            controller.record_leader_miss("leader_a")
+        assert controller.value == controller.max_value
+        assert controller.follower_choice() == "leader_b"
+        for _ in range(100):
+            controller.record_leader_miss("leader_b")
+        assert controller.value == 0
+        assert controller.follower_choice() == "leader_a"
+
+
+class TestHierarchy:
+    def _hierarchy(self):
+        return CacheHierarchy(
+            [
+                CacheLevelConfig("L1", 2, 16, hit_latency=4, policy="PLRU"),
+                CacheLevelConfig("L2", 4, 64, hit_latency=12, policy="LRU"),
+            ],
+            memory_latency=100,
+        )
+
+    def test_first_load_misses_everywhere_then_hits_l1(self):
+        hierarchy = self._hierarchy()
+        first = hierarchy.load(0x1000)
+        assert first.hit_level is None and first.latency == 100
+        second = hierarchy.load(0x1000)
+        assert second.hit_level == "L1" and second.latency == 4
+
+    def test_l1_hit_does_not_touch_l2(self):
+        hierarchy = self._hierarchy()
+        hierarchy.load(0x1000)
+        l2_hits_before = hierarchy.level("L2").hits
+        hierarchy.load(0x1000)  # L1 hit
+        assert hierarchy.level("L2").hits == l2_hits_before
+
+    def test_clflush_invalidates_all_levels(self):
+        hierarchy = self._hierarchy()
+        hierarchy.load(0x1000)
+        hierarchy.clflush(0x1000)
+        assert hierarchy.peek(0x1000) is None
+
+    def test_wbinvd_and_statistics(self):
+        hierarchy = self._hierarchy()
+        hierarchy.load(0x0)
+        hierarchy.wbinvd()
+        assert hierarchy.peek(0x0) is None
+        hierarchy.reset_statistics()
+        assert hierarchy.statistics() == {"L1": (0, 0), "L2": (0, 0)}
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(CacheError):
+            self._hierarchy().level("L9")
+
+    def test_empty_hierarchy_rejected(self):
+        with pytest.raises(CacheError):
+            CacheHierarchy([])
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    blocks=st.lists(st.sampled_from("ABCDEFG"), min_size=1, max_size=40),
+    policy_name=st.sampled_from(["LRU", "FIFO", "PLRU", "NEW1", "NEW2", "SRRIP-HP"]),
+)
+def test_cache_set_invariants(blocks, policy_name):
+    """Property: a cache set never stores duplicates and never exceeds capacity."""
+    cache = CacheSet(make_policy(policy_name, 4))
+    for block in blocks:
+        result = cache.access(block)
+        assert result in (HIT, MISS)
+        stored = [b for b in cache.content if b is not None]
+        assert len(stored) == len(set(stored))
+        assert len(stored) <= 4
+        assert cache.contains(block)

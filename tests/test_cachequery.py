@@ -1,0 +1,228 @@
+"""Tests for the CacheQuery frontend/backend and the hit/miss classification."""
+
+import pytest
+
+from repro.cache.cacheset import HIT, MISS
+from repro.cachequery import (
+    BackendConfig,
+    CacheQuery,
+    CacheQueryBackend,
+    CacheQueryConfig,
+    CacheQuerySetInterface,
+    HitMissClassifier,
+    QueryCache,
+    calibrate_classifier,
+)
+from repro.errors import CacheQueryError
+from repro.hardware.cpu import SimulatedCPU
+from repro.hardware.profiles import SKYLAKE_I5_6500
+from repro.hardware.timing import NoiseModel
+from repro.mbl.expansion import expand
+
+
+def _cpu(noise: float = 0.0) -> SimulatedCPU:
+    return SimulatedCPU(SKYLAKE_I5_6500, noise=NoiseModel(std=noise))
+
+
+class TestClassification:
+    def test_threshold_classification(self):
+        classifier = HitMissClassifier(threshold_cycles=20)
+        assert classifier.classify(5) == HIT
+        assert classifier.classify(50) == MISS
+
+    def test_majority_vote_suppresses_outliers(self):
+        classifier = HitMissClassifier(threshold_cycles=20)
+        assert classifier.classify_majority([5, 300, 6]) == HIT
+        assert classifier.classify_majority([300, 280, 6]) == MISS
+
+    def test_majority_vote_requires_samples(self):
+        with pytest.raises(CacheQueryError):
+            HitMissClassifier(20).classify_majority([])
+
+    def test_calibration_produces_separating_threshold(self):
+        cpu = _cpu(noise=1.0)
+        classifier = calibrate_classifier(cpu, "L1")
+        assert cpu.timing.base_latency("L1") < classifier.threshold_cycles
+        assert classifier.threshold_cycles < cpu.timing.base_latency("L2")
+
+    def test_calibration_needs_enough_samples(self):
+        with pytest.raises(CacheQueryError):
+            calibrate_classifier(_cpu(), "L1", samples=2)
+
+
+class TestQueryCache:
+    def test_put_get_and_statistics(self):
+        cache = QueryCache()
+        assert cache.get("L2", 0, 5, "A B?") is None
+        cache.put("L2", 0, 5, "A B?", ("Hit",))
+        assert cache.get("L2", 0, 5, "A B?") == ("Hit",)
+        assert cache.hits == 1 and cache.misses == 1
+        assert len(cache) == 1
+
+    def test_keys_include_target(self):
+        cache = QueryCache()
+        cache.put("L2", 0, 5, "A?", ("Hit",))
+        assert cache.get("L2", 0, 6, "A?") is None
+        assert cache.get("L1", 0, 5, "A?") is None
+
+    def test_persistence_round_trip(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = QueryCache(str(path))
+        cache.put("L1", 0, 1, "A?", ("Miss",))
+        cache.save()
+        reloaded = QueryCache(str(path))
+        assert reloaded.get("L1", 0, 1, "A?") == ("Miss",)
+
+    def test_clear(self):
+        cache = QueryCache()
+        cache.put("L1", 0, 0, "A?", ("Hit",))
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestBackend:
+    def test_requires_target_configuration(self):
+        backend = CacheQueryBackend(_cpu())
+        with pytest.raises(CacheQueryError):
+            backend.pool_blocks()
+
+    def test_invalid_target_rejected(self):
+        backend = CacheQueryBackend(_cpu())
+        with pytest.raises(CacheQueryError):
+            backend.configure_target("L2", 5000)
+        with pytest.raises(CacheQueryError):
+            backend.configure_target("L3", 0, slice_index=99)
+
+    def test_pool_blocks_map_to_target_set(self):
+        cpu = _cpu()
+        backend = CacheQueryBackend(cpu)
+        backend.configure_target("L2", 33)
+        mapper = cpu.hierarchy.level("L2").mapper
+        for block in backend.pool_blocks():
+            assert mapper.locate(backend.block_address(block)) == (0, 33)
+
+    def test_unknown_block_rejected(self):
+        backend = CacheQueryBackend(_cpu())
+        backend.configure_target("L1", 0)
+        with pytest.raises(CacheQueryError):
+            backend.block_address("ZZ")
+
+    def test_execute_profiles_against_ground_truth_counters(self):
+        """Timing-based verdicts must agree with the architectural state."""
+        cpu = _cpu()
+        backend = CacheQueryBackend(cpu, BackendConfig(repetitions=1, profile_with_counters=True))
+        backend.configure_target("L2", 7)
+        (query,) = expand("A B C D A?", backend.associativity, backend.pool_blocks())
+        counter_verdict = backend.execute(query)
+        timed_backend = CacheQueryBackend(cpu, BackendConfig(repetitions=3))
+        timed_backend.configure_target("L2", 7)
+        timed_verdict = timed_backend.execute(query)
+        assert counter_verdict == timed_verdict == (HIT,)
+
+    def test_execute_eviction_probe_finds_exactly_one_victim(self):
+        cpu = _cpu()
+        backend = CacheQueryBackend(cpu, BackendConfig(repetitions=1))
+        backend.configure_target("L2", 9)
+        blocks = backend.pool_blocks()
+        fresh = blocks[backend.associativity]
+        # Each probe starts with a Flush+Refill reset so the four probes are
+        # independent, exactly like the queries Polca issues.
+        reset = " ".join(f"{block}!" for block in blocks)
+        results = []
+        for probe in blocks[: backend.associativity]:
+            (query,) = expand(
+                f"{reset} @ {fresh} {probe}?", backend.associativity, blocks
+            )
+            results.append(backend.execute(query)[0])
+        assert results.count(MISS) == 1
+
+    def test_flush_tag_invalidates_block(self):
+        cpu = _cpu()
+        backend = CacheQueryBackend(cpu, BackendConfig(repetitions=1))
+        backend.configure_target("L1", 3)
+        (query,) = expand("A A! A?", backend.associativity, backend.pool_blocks())
+        assert backend.execute(query) == (MISS,)
+
+    def test_empty_query_rejected(self):
+        backend = CacheQueryBackend(_cpu())
+        backend.configure_target("L1", 0)
+        with pytest.raises(CacheQueryError):
+            backend.execute(())
+
+    def test_generate_code_mentions_profiling(self):
+        backend = CacheQueryBackend(_cpu())
+        backend.configure_target("L2", 0)
+        (query,) = expand("A B?", backend.associativity, backend.pool_blocks())
+        code = backend.generate_code(query)
+        assert "movabs" in code and "rdtsc" in code and "clflush" not in code
+
+    def test_prefetcher_restored_after_execution(self):
+        cpu = _cpu()
+        cpu.set_prefetcher(True)
+        backend = CacheQueryBackend(cpu, BackendConfig(repetitions=1))
+        backend.configure_target("L1", 0)
+        (query,) = expand("A?", backend.associativity, backend.pool_blocks())
+        backend.execute(query)
+        assert cpu.prefetcher.enabled is True
+
+    def test_repetition_majority_recovers_from_noise(self):
+        cpu = SimulatedCPU(
+            SKYLAKE_I5_6500,
+            noise=NoiseModel(std=3.0, outlier_probability=0.05, seed=3),
+        )
+        backend = CacheQueryBackend(cpu, BackendConfig(repetitions=7))
+        backend.configure_target("L1", 11)
+        blocks = backend.pool_blocks()
+        # The query resets its own context (flush A and B) so the repeated
+        # executions used for majority voting all observe the same state.
+        (query,) = expand("A! B! A A? B?", backend.associativity, blocks)
+        assert backend.execute(query) == (HIT, MISS)
+
+
+class TestFrontend:
+    def test_query_returns_one_result_per_expansion(self):
+        frontend = CacheQuery(_cpu(), CacheQueryConfig(level="L2", set_index=3))
+        results = frontend.query("@ E _?")
+        assert len(results) == frontend.associativity
+        assert all(len(result) == 1 for result in results)
+
+    def test_response_cache_serves_repeats(self):
+        frontend = CacheQuery(_cpu(), CacheQueryConfig(level="L1", set_index=1))
+        frontend.query("A B C?")
+        executed_before = frontend.backend.executed_queries
+        frontend.query("A B C?")
+        assert frontend.backend.executed_queries == executed_before
+        assert frontend.cache.hits >= 1
+
+    def test_configure_switches_target(self):
+        frontend = CacheQuery(_cpu(), CacheQueryConfig(level="L1", set_index=1))
+        frontend.configure(level="L2", set_index=8)
+        assert frontend.config.level == "L2"
+        assert frontend.associativity == 4
+
+    def test_batch_mode_restores_target(self):
+        frontend = CacheQuery(_cpu(), CacheQueryConfig(level="L2", set_index=2))
+        results = frontend.batch("@ E A?", [4, 5, 6])
+        assert set(results) == {4, 5, 6}
+        assert frontend.config.set_index == 2
+
+    def test_interactive_mode_commands(self):
+        frontend = CacheQuery(_cpu(), CacheQueryConfig(level="L1", set_index=0))
+        script = iter(["blocks", "set 2", "level L2", "A B?", "bogus $ query", "quit"])
+        outputs = []
+        frontend.interactive(input_fn=lambda _: next(script), output_fn=outputs.append)
+        assert any("A" in line for line in outputs)
+        assert any("error" in line for line in outputs)
+        assert frontend.config.level == "L2"
+
+    def test_set_interface_probe_profiles_every_block(self):
+        frontend = CacheQuery(_cpu(), CacheQueryConfig(level="L2", set_index=17))
+        interface = CacheQuerySetInterface(frontend)
+        outcomes = interface.probe(["A", "B", "C", "D", "E", "A"])
+        assert len(outcomes) == 6
+        assert outcomes[:4] == (HIT, HIT, HIT, HIT)
+        assert outcomes[4] == MISS
+
+    def test_set_interface_empty_probe(self):
+        frontend = CacheQuery(_cpu(), CacheQueryConfig(level="L1", set_index=0))
+        assert CacheQuerySetInterface(frontend).probe([]) == ()

@@ -1,0 +1,265 @@
+"""Unit and property tests for the replacement-policy implementations."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.alphabet import EVICT, MISS_OUTPUT, Line
+from repro.errors import PolicyError
+from repro.policies import (
+    BIPPolicy,
+    CLOCKPolicy,
+    FIFOPolicy,
+    LIPPolicy,
+    LRUPolicy,
+    MRUPolicy,
+    New1Policy,
+    New2Policy,
+    PLRUPolicy,
+    SRRIPPolicy,
+)
+from repro.policies.registry import available_policies, make_policy, register_policy
+
+#: (policy, associativity) -> number of states of the minimal machine, from Table 2
+#: of the paper (plus the New1/New2 counts from Table 4).
+TABLE2_STATE_COUNTS = {
+    ("FIFO", 2): 2,
+    ("FIFO", 8): 8,
+    ("LRU", 2): 2,
+    ("LRU", 4): 24,
+    ("PLRU", 2): 2,
+    ("PLRU", 4): 8,
+    ("PLRU", 8): 128,
+    ("MRU", 2): 2,
+    ("MRU", 4): 14,
+    ("MRU", 6): 62,
+    ("LIP", 2): 2,
+    ("LIP", 4): 24,
+    ("SRRIP-HP", 2): 12,
+    ("SRRIP-HP", 4): 178,
+    ("SRRIP-FP", 2): 16,
+    ("SRRIP-FP", 4): 256,
+    ("NEW1", 4): 160,
+    ("NEW2", 4): 175,
+}
+
+
+class TestRegistry:
+    def test_all_expected_policies_registered(self):
+        names = available_policies()
+        for expected in ("FIFO", "LRU", "PLRU", "MRU", "LIP", "SRRIP-HP", "NEW1", "NEW2"):
+            assert expected in names
+
+    def test_make_policy_case_insensitive(self):
+        assert isinstance(make_policy("lru", 4), LRUPolicy)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(PolicyError):
+            make_policy("NOT-A-POLICY", 4)
+
+    def test_register_policy_overrides(self):
+        register_policy("TEST-ONLY", FIFOPolicy)
+        assert isinstance(make_policy("test-only", 2), FIFOPolicy)
+
+
+class TestGenericPolicyBehaviour:
+    """Checks that hold for every policy (uses the ``policy`` fixture)."""
+
+    def test_victims_in_range_and_deterministic(self, policy):
+        state = policy.initial_state()
+        seen = []
+        for _ in range(3 * policy.associativity):
+            new_state, victim = policy.on_miss(state)
+            again_state, again_victim = policy.on_miss(state)
+            assert (new_state, victim) == (again_state, again_victim)
+            assert 0 <= victim < policy.associativity
+            seen.append(victim)
+            state = new_state
+        assert len(set(seen)) >= 1
+
+    def test_step_maps_alphabet_correctly(self, policy):
+        state = policy.initial_state()
+        new_state, output = policy.step(state, Line(0))
+        assert output == MISS_OUTPUT
+        _, evicted = policy.step(state, EVICT)
+        assert isinstance(evicted, int)
+
+    def test_step_rejects_out_of_range_line(self, policy):
+        with pytest.raises(PolicyError):
+            policy.step(policy.initial_state(), Line(policy.associativity))
+
+    def test_states_are_hashable(self, policy):
+        state = policy.initial_state()
+        hash(state)
+        state = policy.on_hit(state, 0)
+        hash(state)
+
+    def test_stepper_round_trip(self, policy):
+        stepper = policy.stepper()
+        victims = [stepper.miss() for _ in range(policy.associativity)]
+        assert all(0 <= victim < policy.associativity for victim in victims)
+        stepper.hit(0)
+        stepper.reset()
+        assert stepper.state == policy.initial_state()
+
+    def test_consecutive_fills_hit_distinct_lines(self, policy):
+        """Filling an invalidated set touches every line exactly once.
+
+        This is what makes Flush+Refill a valid reset sequence on the
+        simulated hardware.
+        """
+        state = policy.initial_state()
+        for line in range(policy.associativity):
+            state = policy.on_fill(state, line)
+        # The fold must be deterministic.
+        again = policy.initial_state()
+        for line in range(policy.associativity):
+            again = policy.on_fill(again, line)
+        assert state == again
+
+
+class TestStateCounts:
+    @pytest.mark.parametrize(
+        "name,associativity,expected", [(*key, value) for key, value in TABLE2_STATE_COUNTS.items()]
+    )
+    def test_minimal_state_counts_match_the_paper(self, name, associativity, expected):
+        policy = make_policy(name, associativity)
+        assert policy.state_count() == expected
+
+
+class TestSpecificPolicies:
+    def test_fifo_ignores_hits(self):
+        policy = FIFOPolicy(4)
+        state = policy.initial_state()
+        hit_state = policy.on_hit(state, 2)
+        assert hit_state == state
+        victims = []
+        for _ in range(6):
+            state, victim = policy.on_miss(state)
+            victims.append(victim)
+        assert victims == [0, 1, 2, 3, 0, 1]
+
+    def test_lru_evicts_least_recently_used(self):
+        policy = LRUPolicy(4)
+        state = policy.initial_state()
+        # Touch lines 0..2; line 3 is now least recently used.
+        for line in (0, 1, 2):
+            state = policy.on_hit(state, line)
+        _, victim = policy.on_miss(state)
+        assert victim == 3
+
+    def test_lip_inserts_at_lru_position(self):
+        policy = LIPPolicy(4)
+        state = policy.initial_state()
+        state, first_victim = policy.on_miss(state)
+        _, second_victim = policy.on_miss(state)
+        # Without intervening hits, LIP keeps replacing the same line.
+        assert first_victim == second_victim
+
+    def test_bip_occasionally_promotes(self):
+        policy = BIPPolicy(4, throttle=2)
+        state = policy.initial_state()
+        victims = []
+        for _ in range(4):
+            state, victim = policy.on_miss(state)
+            victims.append(victim)
+        # Every second insertion behaves like LRU, so the victim changes.
+        assert len(set(victims)) > 1
+
+    def test_plru_requires_power_of_two(self):
+        with pytest.raises(PolicyError):
+            PLRUPolicy(6)
+
+    def test_plru_victims_cover_all_lines_on_refill(self):
+        policy = PLRUPolicy(8)
+        state = policy.initial_state()
+        victims = []
+        for _ in range(8):
+            state, victim = policy.on_miss(state)
+            victims.append(victim)
+        assert sorted(victims) == list(range(8))
+
+    def test_mru_never_reaches_all_ones(self):
+        policy = MRUPolicy(4)
+        state = policy.initial_state()
+        for line in range(4):
+            state = policy.on_hit(state, line)
+            assert 0 in state
+
+    def test_srrip_variants_differ_on_hits(self):
+        hp = SRRIPPolicy(4, variant="HP")
+        fp = SRRIPPolicy(4, variant="FP")
+        state = (2, 3, 3, 3)
+        assert hp.on_hit(state, 0)[0] == 0
+        assert fp.on_hit(state, 0)[0] == 1
+
+    def test_srrip_rejects_bad_variant(self):
+        with pytest.raises(PolicyError):
+            SRRIPPolicy(4, variant="XX")
+
+    def test_clock_gives_second_chances(self):
+        policy = CLOCKPolicy(4)
+        state = policy.initial_state()
+        state, victim = policy.on_miss(state)
+        assert victim == 0
+        # A hit sets the reference bit, so the hand skips the line next time
+        # it sweeps past it.
+        state = policy.on_hit(state, 1)
+        state, victim = policy.on_miss(state)
+        assert victim != 1 or state[0][1] == 0
+
+    def test_new1_matches_paper_rules(self):
+        policy = New1Policy(4)
+        assert policy.initial_state() == (3, 3, 3, 0)
+        state, victim = policy.on_miss(policy.initial_state())
+        assert victim == 0
+        assert state[0] == 1
+
+    def test_new2_matches_paper_rules(self):
+        policy = New2Policy(4)
+        assert policy.initial_state() == (3, 3, 3, 3)
+        # Promotion: age 1 -> 0, anything else -> 1.
+        assert policy.on_hit((1, 3, 3, 3), 0)[0] == 0
+        assert policy.on_hit((2, 3, 3, 3), 0)[0] == 1
+
+    def test_invalid_associativity_rejected(self):
+        with pytest.raises(PolicyError):
+            FIFOPolicy(0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    name=st.sampled_from(["FIFO", "LRU", "LIP", "MRU", "PLRU", "SRRIP-HP", "NEW1", "NEW2"]),
+    operations=st.lists(st.integers(min_value=-1, max_value=3), min_size=1, max_size=40),
+)
+def test_policy_state_spaces_stay_reachable_and_bounded(name, operations):
+    """Property: arbitrary hit/miss interleavings keep states well-formed.
+
+    ``-1`` denotes a miss, other values a hit on that line.  Every policy
+    must keep producing victims in range and hashable states.
+    """
+    policy = make_policy(name, 4)
+    state = policy.initial_state()
+    for operation in operations:
+        if operation < 0:
+            state, victim = policy.on_miss(state)
+            assert 0 <= victim < 4
+        else:
+            state = policy.on_hit(state, operation)
+        hash(state)
+
+
+@settings(max_examples=40, deadline=None)
+@given(accesses=st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=24))
+def test_lru_victim_is_always_the_stalest_line(accesses):
+    """Property: LRU evicts exactly the line whose last access is oldest."""
+    policy = LRUPolicy(4)
+    state = policy.initial_state()
+    # In the initial state line 0 is the most recently used and line 3 the
+    # least recently used (ranks 0..3).
+    last_touch = {line: -(line + 1) for line in range(4)}
+    for step, line in enumerate(accesses):
+        state = policy.on_hit(state, line)
+        last_touch[line] = step
+    _, victim = policy.on_miss(state)
+    assert victim == min(last_touch, key=last_touch.get)

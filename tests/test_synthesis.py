@@ -1,0 +1,205 @@
+"""Tests for the explanation template, grammars, references and the synthesizer."""
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.policies.registry import make_policy
+from repro.synthesis import (
+    EvictionRule,
+    ExplanationProgram,
+    NormalizationRule,
+    UpdateBranch,
+    UpdateRule,
+    reference_explanation,
+    reference_explanations,
+)
+from repro.synthesis.expr import AGE_OTHER, AGE_SELF, AgeVar, Comparison, Constant, Sum, TrueExpr
+from repro.synthesis.grammar import extended_grammar, simple_grammar
+from repro.synthesis.synthesizer import SynthesisConfig, explain_policy, synthesize_explanation
+
+
+class TestExpressions:
+    def test_constant_saturates(self):
+        assert Constant(7).evaluate({}, max_age=3) == 3
+
+    def test_sum_saturates_both_ways(self):
+        env = {AGE_SELF: 3}
+        assert Sum(AgeVar(AGE_SELF), +2).evaluate(env, 3) == 3
+        assert Sum(Constant(0), -1).evaluate(env, 3) == 0
+
+    def test_comparison_operators(self):
+        env = {AGE_SELF: 2, AGE_OTHER: 1}
+        assert Comparison(AgeVar(AGE_OTHER), "<", AgeVar(AGE_SELF)).evaluate(env, 3)
+        assert not Comparison(AgeVar(AGE_OTHER), ">", AgeVar(AGE_SELF)).evaluate(env, 3)
+        with pytest.raises(ValueError):
+            Comparison(Constant(0), "<>", Constant(1))
+
+    def test_describe_is_readable(self):
+        assert "age" in Sum(AgeVar(AGE_SELF), -1).describe()
+        assert TrueExpr().describe() == "true"
+
+
+class TestRules:
+    def test_update_rule_first_matching_branch_wins(self):
+        rule = UpdateRule(
+            branches=(
+                UpdateBranch(Comparison(AgeVar(AGE_SELF), "==", Constant(1)), Constant(0)),
+                UpdateBranch(TrueExpr(), Constant(1)),
+            )
+        )
+        assert rule.apply((1, 3, 3, 3), 0, 3)[0] == 0
+        assert rule.apply((2, 3, 3, 3), 0, 3)[0] == 1
+
+    def test_update_rule_others_loop_uses_original_ages(self):
+        rule = UpdateRule(
+            branches=(UpdateBranch(TrueExpr(), Constant(0)),),
+            others_condition=Comparison(AgeVar(AGE_OTHER), "<", AgeVar(AGE_SELF)),
+            others_value=Sum(AgeVar(AGE_OTHER), +1),
+        )
+        # LRU promotion: the touched line's original age is the pivot.
+        assert rule.apply((2, 0, 1, 3), 0, 3) == (0, 1, 2, 3)
+
+    def test_update_rule_requires_condition_and_value_together(self):
+        with pytest.raises(SynthesisError):
+            UpdateRule(others_condition=TrueExpr())
+
+    def test_eviction_rules(self):
+        assert EvictionRule("first_with_age", 3).select((0, 3, 3, 1)) == 1
+        assert EvictionRule("leftmost_max").select((0, 2, 2, 1)) == 1
+        assert EvictionRule("leftmost_min").select((2, 0, 0, 1)) == 1
+        assert EvictionRule("first_with_age", 3).select((0, 0, 0, 0)) == 0  # total fallback
+
+    def test_normalization_age_until_max(self):
+        rule = NormalizationRule("age_until_max", target=3, skip_touched=True)
+        assert rule.apply((1, 1, 1, 0), touched=2, max_age=3) == (3, 3, 1, 2)
+        # Already normalized vectors are untouched.
+        assert rule.apply((3, 0, 0, 0), touched=1, max_age=3) == (3, 0, 0, 0)
+
+    def test_normalization_reset_when_all(self):
+        rule = NormalizationRule("reset_when_all", target=1, reset_value=0)
+        assert rule.apply((1, 1, 1, 1), touched=2, max_age=3) == (0, 0, 1, 0)
+        assert rule.apply((1, 0, 1, 1), touched=2, max_age=3) == (1, 0, 1, 1)
+
+    def test_identity_normalization(self):
+        assert NormalizationRule().apply((2, 1), touched=None, max_age=3) == (2, 1)
+
+    def test_describe_methods(self):
+        assert "evict" in EvictionRule("leftmost_max").describe()
+        assert "normalization" in NormalizationRule().describe()
+        assert "age" in UpdateRule(branches=(UpdateBranch(TrueExpr(), Constant(0)),)).describe()
+
+
+class TestTemplate:
+    def test_program_validates_initial_ages(self):
+        with pytest.raises(SynthesisError):
+            ExplanationProgram(
+                associativity=4,
+                initial_ages=(0, 0),
+                promotion=UpdateRule(),
+                insertion=UpdateRule(),
+                eviction=EvictionRule(),
+            )
+        with pytest.raises(SynthesisError):
+            ExplanationProgram(
+                associativity=2,
+                initial_ages=(0, 9),
+                promotion=UpdateRule(),
+                insertion=UpdateRule(),
+                eviction=EvictionRule(),
+            )
+
+    def test_simple_flag_and_pretty(self):
+        program = reference_explanation("FIFO")
+        assert program.is_simple
+        text = program.pretty()
+        assert "Promote" in text and "Evict" in text and "Insert" in text
+        extended = reference_explanation("NEW2")
+        assert not extended.is_simple
+        assert "Normalize" in extended.pretty()
+
+    def test_as_policy_round_trip(self):
+        program = reference_explanation("NEW1")
+        policy = program.as_policy()
+        state = policy.initial_state()
+        state, victim = policy.on_miss(state)
+        assert victim == 0
+
+
+class TestReferences:
+    @pytest.mark.parametrize(
+        "name", ["FIFO", "LRU", "LIP", "MRU", "SRRIP-HP", "SRRIP-FP", "NEW1", "NEW2"]
+    )
+    def test_reference_explanations_are_equivalent_to_the_policies(self, name):
+        """Appendix C check: each explanation denotes exactly its policy."""
+        program = reference_explanation(name, 4)
+        policy = make_policy(name, 4)
+        reference_machine = program.as_policy().to_mealy(max_states=5000).minimize()
+        truth_machine = policy.to_mealy().minimize()
+        assert reference_machine.equivalent(truth_machine)
+
+    def test_unknown_reference_rejected(self):
+        with pytest.raises(SynthesisError):
+            reference_explanation("PLRU")
+
+    def test_reference_catalog(self):
+        catalog = reference_explanations(4)
+        assert set(catalog) >= {"NEW1", "NEW2", "LRU", "FIFO"}
+
+
+class TestGrammars:
+    def test_simple_grammar_is_smaller_than_extended(self):
+        simple = simple_grammar(4)
+        extended = extended_grammar(4)
+        assert simple.size < extended.size
+        assert len(simple.post_normalizations) == 1
+        assert len(extended.post_normalizations) > 1
+
+    def test_initial_candidates_include_known_policies(self):
+        initials = simple_grammar(4).initial_ages
+        assert (3, 3, 3, 3) in initials       # SRRIP / New2
+        assert (3, 3, 3, 0) in initials       # New1
+        assert (0, 1, 2, 3) in initials       # LRU / LIP
+        assert (3, 2, 1, 0) in initials       # FIFO
+        assert (1, 0, 0, 0) in initials       # MRU
+
+
+class TestSynthesizer:
+    @pytest.mark.parametrize("name,expected_template", [("FIFO", "Simple"), ("LRU", "Simple")])
+    def test_simple_policies_synthesize_with_simple_template(self, name, expected_template):
+        policy = make_policy(name, 4)
+        result = explain_policy(policy, config=SynthesisConfig(max_seconds=120))
+        assert result.template == expected_template
+        synthesized = result.program.as_policy().to_mealy(max_states=5000).minimize()
+        assert synthesized.equivalent(policy.to_mealy().minimize())
+
+    def test_mru_needs_extended_template(self):
+        policy = make_policy("MRU", 4)
+        result = explain_policy(policy, config=SynthesisConfig(max_seconds=180))
+        assert result.template == "Extended"
+        synthesized = result.program.as_policy().to_mealy(max_states=5000).minimize()
+        assert synthesized.equivalent(policy.to_mealy().minimize())
+
+    def test_new1_synthesis_matches_paper_description(self):
+        policy = make_policy("NEW1", 4)
+        result = explain_policy(policy, config=SynthesisConfig(max_seconds=300))
+        assert result.template == "Extended"
+        synthesized = result.program.as_policy().to_mealy(max_states=5000).minimize()
+        assert synthesized.equivalent(policy.to_mealy().minimize())
+
+    def test_plru_cannot_be_explained(self):
+        policy = make_policy("PLRU", 4)
+        with pytest.raises(SynthesisError):
+            explain_policy(policy, config=SynthesisConfig(max_seconds=60))
+
+    def test_explicit_template_selection(self):
+        policy = make_policy("FIFO", 4)
+        machine = policy.to_mealy().minimize()
+        result = synthesize_explanation(machine, 4, template="simple")
+        assert result.template == "Simple"
+        with pytest.raises(SynthesisError):
+            synthesize_explanation(machine, 4, template="nonsense")
+
+    def test_budget_exhaustion_raises(self):
+        policy = make_policy("NEW2", 4)
+        with pytest.raises(SynthesisError):
+            explain_policy(policy, config=SynthesisConfig(max_seconds=0.05))
