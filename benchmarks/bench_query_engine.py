@@ -1,0 +1,169 @@
+"""The batched trie-backed query engine vs. the seed query path.
+
+The acceptance experiment of the query-engine PR: learn the 8-way PLRU
+policy (the 128-state machine of Table 2) from its white-box Mealy model
+through the full L* + Wp-method loop twice —
+
+* **seed path** — the per-word dictionary cache
+  (:class:`~repro.learning.oracles.DictCachedMembershipOracle`) with the
+  equivalence oracle querying the system word by word; and
+* **engine path** — the trie-backed
+  :class:`~repro.learning.oracles.CachedMembershipOracle` shared between
+  the observation table and the conformance tester, with batching,
+  prefix-subsumption and resume-from-state —
+
+and compare executed queries, executed symbols and wall-clock time.  The
+engine must cut executed symbols by at least 2x while learning the *same*
+machine; a registry-wide sweep checks that every learnable policy still
+yields an unchanged (trace-equivalent, same-size) automaton.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_query_engine.py
+
+or through pytest-benchmark::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_query_engine.py
+"""
+
+import time
+
+import pytest
+
+try:  # pytest inserts benchmarks/ into sys.path; standalone runs don't need it
+    from conftest import run_once
+except ImportError:  # pragma: no cover - standalone execution
+    run_once = None
+
+from repro.learning import (
+    CachedMembershipOracle,
+    ConformanceEquivalenceOracle,
+    DictCachedMembershipOracle,
+    MealyMachineOracle,
+    PerfectEquivalenceOracle,
+    learn_mealy_machine,
+)
+from repro.policies.registry import available_policies, make_policy
+
+#: The acceptance target: the paper's 8-way tree PLRU (128 states).
+TENTPOLE_POLICY = ("PLRU", 8)
+CACHE_BACKENDS = {
+    "seed-dict": DictCachedMembershipOracle,
+    "trie-engine": CachedMembershipOracle,
+}
+
+
+def learn_with_backend(policy_name, associativity, backend):
+    """Learn a policy white-box with the given cache backend; return metrics."""
+    reference = make_policy(policy_name, associativity).to_mealy(max_states=200_000).minimize()
+    sul = MealyMachineOracle(reference)
+    engine = CACHE_BACKENDS[backend](sul)
+    equivalence = ConformanceEquivalenceOracle(engine, depth=1)
+    start = time.perf_counter()
+    result = learn_mealy_machine(reference.inputs, engine, equivalence)
+    seconds = time.perf_counter() - start
+    assert reference.equivalent(result.machine), "learned machine changed!"
+    return {
+        "backend": backend,
+        "states": result.machine.size,
+        "seconds": seconds,
+        "executed_queries": sul.statistics.membership_queries,
+        "executed_symbols": sul.statistics.membership_symbols,
+        "cache_hits": engine.statistics.cache_hits,
+        "resumed_symbols": engine.statistics.resumed_symbols,
+        "machine": result.machine,
+    }
+
+
+def compare_backends(policy_name, associativity):
+    """Run both paths and return (seed_metrics, engine_metrics, ratios)."""
+    seed = learn_with_backend(policy_name, associativity, "seed-dict")
+    engine = learn_with_backend(policy_name, associativity, "trie-engine")
+    assert seed["machine"].equivalent(engine["machine"])
+    ratios = {
+        "symbols": seed["executed_symbols"] / max(1, engine["executed_symbols"]),
+        "queries": seed["executed_queries"] / max(1, engine["executed_queries"]),
+        "seconds": seed["seconds"] / max(1e-9, engine["seconds"]),
+    }
+    return seed, engine, ratios
+
+
+# --------------------------------------------------------------------- pytest
+
+
+def test_query_engine_speedup(benchmark):
+    """The engine path must execute at least 2x fewer symbols for PLRU-8."""
+    policy_name, associativity = TENTPOLE_POLICY
+    seed = learn_with_backend(policy_name, associativity, "seed-dict")
+    engine = run_once(benchmark, learn_with_backend, policy_name, associativity, "trie-engine")
+    assert seed["machine"].equivalent(engine["machine"])
+    assert engine["states"] == seed["states"] == 128
+    ratio = seed["executed_symbols"] / max(1, engine["executed_symbols"])
+    assert ratio >= 2.0, f"symbol reduction only {ratio:.2f}x"
+    benchmark.extra_info["seed_symbols"] = seed["executed_symbols"]
+    benchmark.extra_info["engine_symbols"] = engine["executed_symbols"]
+    benchmark.extra_info["symbol_reduction"] = round(ratio, 2)
+    benchmark.extra_info["seed_seconds"] = round(seed["seconds"], 3)
+
+
+@pytest.mark.parametrize("policy_name", available_policies())
+def test_registry_machines_unchanged(policy_name):
+    """Both paths learn the same machine for every policy in the registry."""
+    try:
+        make_policy(policy_name, 2)
+    except Exception:
+        pytest.skip(f"{policy_name} undefined at associativity 2")
+    reference = make_policy(policy_name, 2).to_mealy().minimize()
+    machines = {}
+    for backend, cache_cls in CACHE_BACKENDS.items():
+        engine = cache_cls(MealyMachineOracle(reference))
+        result = learn_mealy_machine(
+            reference.inputs, engine, PerfectEquivalenceOracle(reference)
+        )
+        machines[backend] = result.machine
+    assert machines["seed-dict"].equivalent(machines["trie-engine"])
+    assert machines["seed-dict"].size == machines["trie-engine"].size == reference.size
+
+
+# ----------------------------------------------------------------- standalone
+
+
+def main():
+    policy_name, associativity = TENTPOLE_POLICY
+    print(f"== Batched query engine vs. seed path: {policy_name}-{associativity} ==")
+    seed, engine, ratios = compare_backends(policy_name, associativity)
+    header = f"{'path':>12} {'states':>7} {'queries':>9} {'symbols':>10} {'seconds':>9}"
+    print(header)
+    for metrics in (seed, engine):
+        print(
+            f"{metrics['backend']:>12} {metrics['states']:>7} "
+            f"{metrics['executed_queries']:>9} {metrics['executed_symbols']:>10} "
+            f"{metrics['seconds']:>9.2f}"
+        )
+    print(
+        f"reduction: {ratios['symbols']:.2f}x symbols, "
+        f"{ratios['queries']:.2f}x queries, {ratios['seconds']:.2f}x wall time"
+    )
+    assert ratios["symbols"] >= 2.0, "acceptance criterion: >= 2x fewer executed symbols"
+
+    print("\n== Registry sweep: learned machines unchanged (associativity 2) ==")
+    for name in available_policies():
+        try:
+            reference = make_policy(name, 2).to_mealy().minimize()
+        except Exception:
+            print(f"{name:>12}: skipped (undefined at associativity 2)")
+            continue
+        machines = {}
+        for backend, cache_cls in CACHE_BACKENDS.items():
+            engine_oracle = cache_cls(MealyMachineOracle(reference))
+            machines[backend] = learn_mealy_machine(
+                reference.inputs, engine_oracle, PerfectEquivalenceOracle(reference)
+            ).machine
+        unchanged = machines["seed-dict"].equivalent(machines["trie-engine"])
+        assert unchanged, f"{name}: engines learned different machines"
+        print(f"{name:>12}: {machines['trie-engine'].size} states, unchanged")
+    print("\nOK")
+
+
+if __name__ == "__main__":
+    main()

@@ -215,8 +215,11 @@ class CacheQueryBackend:
             if operation.profiled:
                 lines.append("rdtsc")
                 lines.append("sub rax, r8")
+                lines.append(f"mov r11, {1 << bit:#x}  ; mask for bit {bit}")
+                lines.append("xor r9, r9")
                 lines.append(f"cmp rax, {int(self.cpu.timing.hit_threshold(context.level))}")
-                lines.append(f"cmovb r9, r11  ; set bit {bit} on hit")
+                lines.append(f"cmovb r9, r11  ; r9 = mask when bit {bit} is a hit")
+                lines.append("or r10, r9  ; accumulate into the hit/miss bitmask")
                 bit += 1
         lines.append("ret")
         return "\n".join(lines)

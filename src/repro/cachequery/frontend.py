@@ -102,30 +102,73 @@ class CacheQuery:
         per expanded query, in expansion order.
         """
         queries = expand(expression, self.associativity, self.blocks)
-        results: List[Tuple[str, ...]] = []
-        for concrete in queries:
-            text = query_to_text(concrete)
-            cached = (
-                self.cache.get(
-                    self.config.level, self.config.slice_index, self.config.set_index, text
-                )
-                if self.config.use_cache
-                else None
+        return [self._execute_concrete(query_to_text(c), c) for c in queries]
+
+    def _execute_concrete(self, text, concrete) -> Tuple[str, ...]:
+        """Execute one concrete query through the response cache."""
+        cached = (
+            self.cache.get(
+                self.config.level, self.config.slice_index, self.config.set_index, text
             )
-            if cached is not None:
-                results.append(cached)
-                continue
-            outcome = self.backend.execute(concrete)
-            if self.config.use_cache:
-                self.cache.put(
-                    self.config.level,
-                    self.config.slice_index,
-                    self.config.set_index,
-                    text,
-                    outcome,
-                )
-            results.append(outcome)
+            if self.config.use_cache
+            else None
+        )
+        if cached is not None:
+            return cached
+        outcome = self.backend.execute(concrete)
+        if self.config.use_cache:
+            self.cache.put(
+                self.config.level,
+                self.config.slice_index,
+                self.config.set_index,
+                text,
+                outcome,
+            )
+        return outcome
+
+    def query_batch(self, expressions: Sequence[str]) -> List[List[Tuple[str, ...]]]:
+        """Expand and execute many MBL expressions, deduplicating concrete queries.
+
+        The expansions of all expressions are collected first; each distinct
+        concrete query (by its canonical text) is executed at most once for
+        the current target, whether the repetition comes from one expression
+        expanding to overlapping queries or from duplicate expressions in
+        the batch.  Results are returned per expression, in input order —
+        the batched counterpart of :meth:`query`, used by consumers that
+        stage many queries per round (e.g. the learning hot path).
+
+        When the response cache is disabled (``use_cache=False``, set to
+        force fresh measurements) no intra-batch memoisation happens either:
+        every concrete query reaches the backend, exactly like repeated
+        :meth:`query` calls.
+        """
+        expanded = [
+            expand(expression, self.associativity, self.blocks)
+            for expression in expressions
+        ]
+        answered: Dict[str, Tuple[str, ...]] = {}
+        results: List[List[Tuple[str, ...]]] = []
+        for queries in expanded:
+            outcomes: List[Tuple[str, ...]] = []
+            for concrete in queries:
+                text = query_to_text(concrete)
+                if not self.config.use_cache:
+                    outcomes.append(self._execute_concrete(text, concrete))
+                    continue
+                if text not in answered:
+                    answered[text] = self._execute_concrete(text, concrete)
+                outcomes.append(answered[text])
+            results.append(outcomes)
         return results
+
+    def cache_statistics(self) -> Dict[str, float]:
+        """Hit/miss/size counters of the response cache (for overhead reports)."""
+        return {
+            "hits": self.cache.hits,
+            "misses": self.cache.misses,
+            "entries": len(self.cache),
+            "hit_ratio": self.cache.hit_ratio,
+        }
 
     def batch(
         self,
@@ -223,6 +266,41 @@ class CacheQuerySetInterface:
         self.probe_count += 1
         self.access_count += len(blocks)
         return results[0]
+
+    def probe_batch(
+        self, block_sequences: Sequence[Sequence[str]]
+    ) -> List[Tuple[str, ...]]:
+        """Run many probes through the frontend's deduplicating batch entry point.
+
+        Identical probe sequences collapse to a single hardware query; the
+        response cache handles cross-batch repeats.  Empty sequences yield
+        empty outcome tuples, matching :meth:`probe`.
+        """
+        prefix = self.reset.mbl_prefix(self.associativity, self._universe)
+        expressions: List[Optional[str]] = []
+        for blocks in block_sequences:
+            if not blocks:
+                expressions.append(None)
+                continue
+            profiled = " ".join(f"{block}?" for block in blocks)
+            expressions.append(f"{prefix} {profiled}".strip())
+        answered = self.frontend.query_batch([e for e in expressions if e is not None])
+        results: List[Tuple[str, ...]] = []
+        position = 0
+        for blocks, expression in zip(block_sequences, expressions):
+            if expression is None:
+                results.append(())
+                continue
+            outcome = answered[position]
+            position += 1
+            if len(outcome) != 1:
+                raise CacheQueryError(
+                    f"a Polca probe must expand to exactly one query, got {len(outcome)}"
+                )
+            self.probe_count += 1
+            self.access_count += len(blocks)
+            results.append(outcome[0])
+        return results
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

@@ -55,6 +55,12 @@ class QueryCache:
     def __len__(self) -> int:
         return len(self._entries)
 
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when never queried)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
     def clear(self) -> None:
         """Drop every cached response."""
         self._entries.clear()

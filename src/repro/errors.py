@@ -68,6 +68,32 @@ class NonDeterminismError(LearningError):
         )
 
 
+class OutputLengthMismatchError(NonDeterminismError):
+    """An oracle returned the wrong number of outputs for an input word.
+
+    A Mealy-style output query must produce exactly one output symbol per
+    input symbol; anything else means the oracle truncated or padded its
+    answer (e.g. a hardware probe dropping measurements).  Kept a subclass
+    of :class:`NonDeterminismError` because callers treat both as "the
+    oracle cannot be trusted", but carries the actual observation instead
+    of pretending the input word was a second output word.
+    """
+
+    def __init__(self, word, outputs) -> None:
+        self.word = tuple(word)
+        self.outputs = tuple(outputs)
+        # NonDeterminismError compatibility: the "conflict" is between the
+        # expected and the observed answer length.
+        self.query = self.word
+        self.first = self.outputs
+        self.second = ()
+        LearningError.__init__(
+            self,
+            f"oracle returned {len(self.outputs)} outputs for the "
+            f"{len(self.word)}-symbol query {list(self.word)}: {list(self.outputs)}",
+        )
+
+
 class ResetError(LearningError):
     """A reset sequence failed to bring the cache to a reproducible state."""
 

@@ -40,6 +40,14 @@ class OverheadResult:
     cachequery_seconds: float
     simulated_states: int
     cachequery_states: int
+    #: Query-engine counters of each path (cache hits, batches, symbols...),
+    #: so overhead reports can attribute the gap to orchestration rather
+    #: than to redundant queries.
+    simulated_cache_hits: int = 0
+    cachequery_cache_hits: int = 0
+    simulated_batches: int = 0
+    cachequery_batches: int = 0
+    cachequery_response_cache: Optional[Dict[str, int]] = None
 
     @property
     def overhead_factor(self) -> float:
@@ -92,6 +100,11 @@ def simulated_vs_cachequery_overhead(
         cachequery_seconds=cachequery_seconds,
         simulated_states=simulated_report.num_states,
         cachequery_states=hardware_report.num_states,
+        simulated_cache_hits=simulated_report.learning_result.statistics.cache_hits,
+        cachequery_cache_hits=hardware_report.learning_result.statistics.cache_hits,
+        simulated_batches=simulated_report.learning_result.statistics.batches,
+        cachequery_batches=hardware_report.learning_result.statistics.batches,
+        cachequery_response_cache=frontend.cache_statistics(),
     )
 
 

@@ -67,10 +67,17 @@ class Table2Row:
     learned_states: int
     paper_states: Optional[int]
     seconds: float
+    #: Executed membership queries of the shared query engine.  Since the
+    #: engine sits under *both* the observation table and the conformance
+    #: tester, this includes executed Wp-suite words — unlike the seed,
+    #: which counted learner-side queries only, and closer to the paper's
+    #: accounting of everything the system under learning answers.
     membership_queries: int
     cache_probes: int
     block_accesses: int
     identified: Optional[str]
+    cache_hits: int = 0
+    tests_skipped: int = 0
 
     @property
     def matches_paper(self) -> Optional[bool]:
@@ -140,6 +147,8 @@ def run_table2(
                 cache_probes=report.polca_statistics.cache_probes,
                 block_accesses=report.polca_statistics.block_accesses,
                 identified=report.identified_policy,
+                cache_hits=report.learning_result.statistics.cache_hits,
+                tests_skipped=report.learning_result.statistics.tests_skipped,
             )
         )
     return rows
@@ -156,6 +165,8 @@ def format_table2(rows: Sequence[Table2Row]) -> str:
         "Time",
         "Memb. queries",
         "Cache probes",
+        "Cache hits",
+        "Skipped",
     )
     body = [
         (
@@ -167,6 +178,8 @@ def format_table2(rows: Sequence[Table2Row]) -> str:
             format_seconds(row.seconds),
             row.membership_queries,
             row.cache_probes,
+            row.cache_hits,
+            row.tests_skipped,
         )
         for row in rows
     ]

@@ -92,6 +92,8 @@ class Table4Row:
     reset: str
     seconds: float
     note: str = ""
+    cache_hits: int = 0
+    tests_skipped: int = 0
 
     @property
     def matches_paper_policy(self) -> Optional[bool]:
@@ -260,6 +262,8 @@ def run_table4_configuration(
         reset=reset.describe(),
         seconds=elapsed,
         note=note,
+        cache_hits=report.learning_result.statistics.cache_hits,
+        tests_skipped=report.learning_result.statistics.tests_skipped,
     )
 
 
@@ -293,6 +297,7 @@ def format_table4(rows: Sequence[Table4Row]) -> str:
         "Paper policy",
         "Reset",
         "Time",
+        "Cache hits",
         "Note",
     )
     body = [
@@ -306,6 +311,7 @@ def format_table4(rows: Sequence[Table4Row]) -> str:
             row.paper_policy or "-",
             row.reset,
             format_seconds(row.seconds),
+            row.cache_hits,
             row.note,
         )
         for row in rows

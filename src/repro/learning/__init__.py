@@ -5,10 +5,25 @@ observation-table L* learner for Mealy machines (Angluin's algorithm in
 Niese's Mealy formulation), Rivest–Schapire counterexample processing, and
 W-/Wp-method conformance testing used to approximate equivalence queries
 with the ``(|H| + k)``-completeness guarantee of Theorem 3.3.
+
+All membership queries flow through the batched, trie-backed query engine
+(:mod:`repro.learning.query_engine`): the observation table and the
+conformance tester stage whole rounds of words, and the
+:class:`~repro.learning.oracles.CachedMembershipOracle` dedupes,
+prefix-subsumes and caches them in a response trie before anything reaches
+the system under learning.
 """
 
+from repro.learning.query_engine import (
+    ResponseTrie,
+    dedupe_and_subsume,
+    output_query_batch,
+    supports_batching,
+    supports_resume,
+)
 from repro.learning.oracles import (
     CachedMembershipOracle,
+    DictCachedMembershipOracle,
     FunctionOracle,
     MealyMachineOracle,
     MembershipOracle,
@@ -35,7 +50,13 @@ from repro.learning.equivalence import (
 from repro.learning.learner import LearningResult, MealyLearner, learn_mealy_machine
 
 __all__ = [
+    "ResponseTrie",
+    "dedupe_and_subsume",
+    "output_query_batch",
+    "supports_batching",
+    "supports_resume",
     "CachedMembershipOracle",
+    "DictCachedMembershipOracle",
     "FunctionOracle",
     "MealyMachineOracle",
     "MembershipOracle",

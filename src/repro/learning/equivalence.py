@@ -17,10 +17,12 @@ Three implementations are provided:
 from __future__ import annotations
 
 import random
-from typing import Hashable, Optional, Protocol, Sequence, Tuple
+from concurrent.futures import Executor
+from typing import Hashable, List, Optional, Protocol, Sequence, Tuple
 
 from repro.core.mealy import MealyMachine
 from repro.learning.oracles import MembershipOracle, QueryStatistics
+from repro.learning.query_engine import output_query_batch
 from repro.learning.wpmethod import w_method_suite, wp_method_suite
 
 Input = Hashable
@@ -36,7 +38,23 @@ class EquivalenceOracle(Protocol):
 
 
 class ConformanceEquivalenceOracle:
-    """Wp-/W-method conformance testing against a membership oracle."""
+    """Wp-/W-method conformance testing against a membership oracle.
+
+    The suite is executed in batches of ``batch_size`` words, each answered
+    through the batched-oracle protocol so duplicate and prefix-subsumed
+    test words never reach the system under learning twice.  For
+    simulator-backed oracles whose ``output_query`` is safe to call
+    concurrently (e.g. :class:`~repro.learning.oracles.MealyMachineOracle`),
+    an optional :class:`concurrent.futures.Executor` fans a batch out over
+    workers; stateful oracles (Polca over one cache set) must keep the
+    default serial execution.
+
+    When ``max_tests`` truncates the suite, the dropped words are counted in
+    ``statistics.tests_skipped``: a truncated suite voids the
+    ``(|H| + k)``-completeness guarantee of Corollary 3.4, and the learner
+    surfaces the counter so reports can flag the caveat instead of silently
+    claiming completeness.
+    """
 
     def __init__(
         self,
@@ -45,13 +63,19 @@ class ConformanceEquivalenceOracle:
         depth: int = 1,
         method: str = "wp",
         max_tests: Optional[int] = None,
+        batch_size: int = 64,
+        executor: Optional[Executor] = None,
     ) -> None:
         if method not in ("w", "wp"):
             raise ValueError(f"method must be 'w' or 'wp', got {method!r}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.oracle = oracle
         self.depth = depth
         self.method = method
         self.max_tests = max_tests
+        self.batch_size = batch_size
+        self.executor = executor
         self.statistics = QueryStatistics()
 
     def _suite(self, hypothesis: MealyMachine):
@@ -59,17 +83,24 @@ class ConformanceEquivalenceOracle:
             return w_method_suite(hypothesis, self.depth)
         return wp_method_suite(hypothesis, self.depth)
 
+    def _answer_chunk(self, chunk: Sequence[Word]) -> List[Tuple]:
+        if self.executor is not None:
+            return [tuple(o) for o in self.executor.map(self.oracle.output_query, chunk)]
+        return output_query_batch(self.oracle, chunk)
+
     def find_counterexample(self, hypothesis: MealyMachine) -> Optional[Word]:
         self.statistics.equivalence_queries += 1
         suite = self._suite(hypothesis)
-        if self.max_tests is not None:
+        if self.max_tests is not None and len(suite) > self.max_tests:
+            self.statistics.tests_skipped += len(suite) - self.max_tests
             suite = suite[: self.max_tests]
-        for word in suite:
-            self.statistics.test_words += 1
-            expected = hypothesis.run(word)
-            actual = tuple(self.oracle.output_query(word))
-            if actual != expected:
-                return word
+        for start in range(0, len(suite), self.batch_size):
+            chunk = suite[start : start + self.batch_size]
+            self.statistics.test_words += len(chunk)
+            actuals = self._answer_chunk(chunk)
+            for word, actual in zip(chunk, actuals):
+                if actual != hypothesis.run(word):
+                    return word
         return None
 
 

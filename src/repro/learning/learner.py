@@ -25,10 +25,18 @@ from repro.learning.counterexample import (
 )
 from repro.learning.equivalence import EquivalenceOracle
 from repro.learning.observation_table import ObservationTable
-from repro.learning.oracles import CachedMembershipOracle, MembershipOracle, QueryStatistics
+from repro.learning.oracles import (
+    CachedMembershipOracle,
+    DictCachedMembershipOracle,
+    MembershipOracle,
+    QueryStatistics,
+)
 
 Input = Hashable
 Word = Tuple[Input, ...]
+
+#: Cache backends selectable via ``MealyLearner(cache_backend=...)``.
+CACHE_BACKENDS = ("trie", "dict")
 
 
 @dataclass
@@ -46,9 +54,29 @@ class LearningResult:
         """Number of states of the learned machine."""
         return self.machine.size
 
+    @property
+    def tests_skipped(self) -> int:
+        """Conformance-suite words skipped because of a ``max_tests`` cap."""
+        return self.statistics.tests_skipped
+
+    @property
+    def completeness_guaranteed(self) -> bool:
+        """False when suite truncation voided the Corollary 3.4 guarantee."""
+        return self.statistics.tests_skipped == 0
+
 
 class MealyLearner:
-    """Observation-table L* learner for Mealy machines."""
+    """Observation-table L* learner for Mealy machines.
+
+    Membership queries flow through the batched query engine: unless
+    ``cache_queries`` is off, the oracle is wrapped in a
+    :class:`~repro.learning.oracles.CachedMembershipOracle` (trie backend)
+    or, for baseline measurements, the legacy
+    :class:`~repro.learning.oracles.DictCachedMembershipOracle`
+    (``cache_backend="dict"``).  An oracle that is already one of the two
+    cache types is used as-is, which lets callers share one engine between
+    the learner and the equivalence oracle.
+    """
 
     def __init__(
         self,
@@ -59,15 +87,25 @@ class MealyLearner:
         counterexample_strategy: str = "rivest-schapire",
         max_rounds: int = 10_000,
         cache_queries: bool = True,
+        cache_backend: str = "trie",
     ) -> None:
         if counterexample_strategy not in ("rivest-schapire", "prefixes"):
             raise LearningError(
                 f"unknown counterexample strategy {counterexample_strategy!r}"
             )
+        if cache_backend not in CACHE_BACKENDS:
+            raise LearningError(
+                f"unknown cache backend {cache_backend!r}; expected one of {CACHE_BACKENDS}"
+            )
         self.alphabet = tuple(alphabet)
-        self.membership_oracle: MembershipOracle = (
-            CachedMembershipOracle(membership_oracle) if cache_queries else membership_oracle
-        )
+        if not cache_queries or isinstance(
+            membership_oracle, (CachedMembershipOracle, DictCachedMembershipOracle)
+        ):
+            self.membership_oracle: MembershipOracle = membership_oracle
+        elif cache_backend == "dict":
+            self.membership_oracle = DictCachedMembershipOracle(membership_oracle)
+        else:
+            self.membership_oracle = CachedMembershipOracle(membership_oracle)
         self.equivalence_oracle = equivalence_oracle
         self.counterexample_strategy = counterexample_strategy
         self.max_rounds = max_rounds

@@ -22,6 +22,7 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 from repro.core.mealy import MealyMachine
 from repro.errors import LearningError
 from repro.learning.oracles import MembershipOracle
+from repro.learning.query_engine import output_query_batch
 
 Input = Hashable
 Output = Hashable
@@ -31,7 +32,14 @@ EMPTY: Word = ()
 
 
 class ObservationTable:
-    """An L* observation table over a fixed input alphabet."""
+    """An L* observation table over a fixed input alphabet.
+
+    Cell queries go through the batched query engine: :meth:`fill` collects
+    every missing ``(prefix, suffix)`` cell and issues **one** batch per
+    stabilisation round, letting the oracle dedupe and prefix-subsume before
+    a single word reaches the system under learning.  Row contents are
+    memoised per prefix and invalidated when the suffix set changes.
+    """
 
     def __init__(self, alphabet: Sequence[Input], oracle: MembershipOracle) -> None:
         if not alphabet:
@@ -45,6 +53,9 @@ class ObservationTable:
         self.suffixes: List[Word] = [(symbol,) for symbol in self.alphabet]
         # Cell storage: (prefix, suffix) -> outputs of the suffix part.
         self._cells: Dict[Tuple[Word, Word], Tuple[Output, ...]] = {}
+        # Memoised row contents, keyed by prefix; valid for the current
+        # suffix list only (add_suffix invalidates).
+        self._row_cache: Dict[Word, Tuple[Tuple[Output, ...], ...]] = {}
         self.fill()
 
     # ------------------------------------------------------------------ cells
@@ -57,14 +68,36 @@ class ObservationTable:
         return self._cells[key]
 
     def row(self, prefix: Word) -> Tuple[Tuple[Output, ...], ...]:
-        """Return the row contents of ``prefix`` over the current suffix set."""
-        return tuple(self._query_cell(prefix, suffix) for suffix in self.suffixes)
+        """Return the (memoised) row contents of ``prefix`` over the current suffixes."""
+        row = self._row_cache.get(prefix)
+        if row is None:
+            row = tuple(self._query_cell(prefix, suffix) for suffix in self.suffixes)
+            self._row_cache[prefix] = row
+        return row
+
+    def missing_cells(self) -> List[Tuple[Word, Word]]:
+        """Return every (prefix, suffix) cell that has not been queried yet."""
+        return [
+            (prefix, suffix)
+            for prefix in self.all_prefixes()
+            for suffix in self.suffixes
+            if (prefix, suffix) not in self._cells
+        ]
 
     def fill(self) -> None:
-        """Ensure every (short and long) row has a value for every suffix."""
-        for prefix in self.all_prefixes():
-            for suffix in self.suffixes:
-                self._query_cell(prefix, suffix)
+        """Ensure every (short and long) row has a value for every suffix.
+
+        All missing cells are collected and answered by a single batched
+        query, so the oracle sees the whole round at once and can dedupe,
+        prefix-subsume and (for caches) reuse earlier answers.
+        """
+        missing = self.missing_cells()
+        if not missing:
+            return
+        words = [prefix + suffix for prefix, suffix in missing]
+        answers = output_query_batch(self.oracle, words)
+        for (prefix, suffix), outputs in zip(missing, answers):
+            self._cells[(prefix, suffix)] = tuple(outputs[len(prefix):])
 
     def all_prefixes(self) -> List[Word]:
         """Return short prefixes followed by their one-symbol extensions."""
@@ -81,6 +114,7 @@ class ObservationTable:
 
     def find_unclosed(self) -> Optional[Word]:
         """Return a long prefix whose row matches no short row, or ``None``."""
+        self.fill()
         short_rows = {self.row(prefix) for prefix in self.short_prefixes}
         for prefix in self.short_prefixes:
             for symbol in self.alphabet:
@@ -96,6 +130,7 @@ class ObservationTable:
         one-symbol extensions differ for some suffix; the returned suffix is
         the extension symbol prepended to the distinguishing suffix.
         """
+        self.fill()
         by_row: Dict[Tuple, List[Word]] = {}
         for prefix in self.short_prefixes:
             by_row.setdefault(self.row(prefix), []).append(prefix)
@@ -131,6 +166,8 @@ class ObservationTable:
         if suffix in self.suffixes:
             return False
         self.suffixes.append(suffix)
+        # Row contents gained a column: every memoised row is stale.
+        self._row_cache.clear()
         self.fill()
         return True
 

@@ -7,24 +7,39 @@ formulation of Angluin's membership queries.)
 
 The module provides:
 
-* :class:`MembershipOracle` — the protocol every oracle implements;
+* :class:`MembershipOracle` — the protocol every oracle implements; the
+  optional batched/resumable extensions are documented in
+  :mod:`repro.learning.query_engine`;
 * :class:`FunctionOracle` / :class:`MealyMachineOracle` — adapters for plain
   callables and for known machines (used in tests and for conformance
-  checks against reference policies);
-* :class:`CachedMembershipOracle` — a prefix-sharing cache around any oracle,
-  mirroring the LevelDB response cache of CacheQuery's frontend; it also
-  detects non-determinism (two executions of the same prefix giving
-  different outputs), which the paper uses to reject bad reset sequences;
+  checks against reference policies); both implement ``output_query_batch``
+  and the machine adapter additionally supports resume-from-state;
+* :class:`CachedMembershipOracle` — the trie-backed response cache of the
+  query engine, mirroring the LevelDB response cache of CacheQuery's
+  frontend; it shares prefix storage structurally, reuses the longest
+  cached prefix (executing only the un-cached suffix when the delegate
+  supports resume), and detects non-determinism (two executions of the same
+  prefix giving different outputs), which the paper uses to reject bad
+  reset sequences;
+* :class:`DictCachedMembershipOracle` — the pre-trie, per-word dictionary
+  cache, retained as the baseline for ``benchmarks/bench_query_engine.py``;
 * :class:`QueryStatistics` — counters reported by the experiment harness.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, Protocol, Sequence, Tuple
+from dataclasses import dataclass, fields
+from typing import Callable, Dict, Hashable, List, Protocol, Sequence, Tuple
 
 from repro.core.mealy import MealyMachine
-from repro.errors import NonDeterminismError
+from repro.errors import NonDeterminismError, OutputLengthMismatchError
+from repro.learning.query_engine import (
+    ResponseTrie,
+    batch_via_single_queries,
+    dedupe_and_subsume,
+    supports_batching,
+    supports_resume,
+)
 
 Input = Hashable
 Output = Hashable
@@ -41,6 +56,18 @@ class QueryStatistics:
     equivalence_queries: int = 0
     test_words: int = 0
     cache_hits: int = 0
+    #: Number of batch calls that reached this oracle.
+    batches: int = 0
+    #: Batch words answered by intra-batch deduplication or prefix
+    #: subsumption (slicing another batch member's answer) rather than by a
+    #: pre-existing cache entry or an execution.
+    subsumed_words: int = 0
+    #: Symbols answered by resuming from a cached prefix instead of
+    #: re-executing it (only oracles with resume support contribute).
+    resumed_symbols: int = 0
+    #: Conformance-suite words dropped by a ``max_tests`` truncation — when
+    #: non-zero the (|H| + k)-completeness guarantee of Corollary 3.4 is void.
+    tests_skipped: int = 0
 
     def record_query(self, length: int) -> None:
         """Record one membership query of ``length`` symbols."""
@@ -50,16 +77,23 @@ class QueryStatistics:
     def merge(self, other: "QueryStatistics") -> "QueryStatistics":
         """Return a new statistics object summing both operands."""
         return QueryStatistics(
-            self.membership_queries + other.membership_queries,
-            self.membership_symbols + other.membership_symbols,
-            self.equivalence_queries + other.equivalence_queries,
-            self.test_words + other.test_words,
-            self.cache_hits + other.cache_hits,
+            **{
+                field.name: getattr(self, field.name) + getattr(other, field.name)
+                for field in fields(QueryStatistics)
+            }
         )
 
 
 class MembershipOracle(Protocol):
-    """Protocol for output-query oracles."""
+    """Protocol for output-query oracles.
+
+    ``output_query`` is mandatory.  Oracles may additionally implement the
+    batched/resumable extensions described in
+    :mod:`repro.learning.query_engine` (``output_query_batch``,
+    ``output_query_resume`` + ``supports_resume``); consumers discover them
+    through :func:`repro.learning.query_engine.supports_batching` /
+    ``supports_resume`` and fall back to word-by-word queries otherwise.
+    """
 
     def output_query(self, word: Sequence[Input]) -> OutputWord:
         """Return the output word produced by the SUL when reading ``word``."""
@@ -67,7 +101,13 @@ class MembershipOracle(Protocol):
 
 
 class FunctionOracle:
-    """Wrap a plain callable ``word -> outputs`` as a membership oracle."""
+    """Wrap a plain callable ``word -> outputs`` as a membership oracle.
+
+    The batched form assumes the callable is deterministic and prefix-closed
+    (the answer to a prefix is the prefix of the answer), which is exactly
+    the Mealy output-query semantics every consumer in this library relies
+    on.
+    """
 
     def __init__(self, function: Callable[[Word], OutputWord]) -> None:
         self._function = function
@@ -78,14 +118,24 @@ class FunctionOracle:
         self.statistics.record_query(len(word))
         return tuple(self._function(word))
 
+    def output_query_batch(self, words: Sequence[Sequence[Input]]) -> List[OutputWord]:
+        """Answer a batch of words, executing only its maximal members."""
+        self.statistics.batches += 1
+        return batch_via_single_queries(self, words)
+
 
 class MealyMachineOracle:
     """A membership oracle backed by a known Mealy machine.
 
     Used for learning from "white box" models in tests, and as the reference
     teacher in the scalability study where the software-simulated cache can
-    be bypassed.
+    be bypassed.  Because the machine's state after any executed word is
+    known, the oracle supports *resume*: answering ``prefix + suffix`` by
+    running only ``suffix`` from the state ``prefix`` reaches — the
+    behaviour a session-keeping hardware backend would offer.
     """
+
+    supports_resume = True
 
     def __init__(self, machine: MealyMachine) -> None:
         self.machine = machine
@@ -96,16 +146,136 @@ class MealyMachineOracle:
         self.statistics.record_query(len(word))
         return self.machine.run(word)
 
+    def output_query_resume(
+        self, prefix: Sequence[Input], suffix: Sequence[Input]
+    ) -> OutputWord:
+        """Return the outputs of ``suffix`` after ``prefix``, executing only ``suffix``."""
+        suffix = tuple(suffix)
+        self.statistics.record_query(len(suffix))
+        self.statistics.resumed_symbols += len(suffix)
+        state = self.machine.state_after(tuple(prefix))
+        return self.machine.run(suffix, state)
+
+    def output_query_batch(self, words: Sequence[Sequence[Input]]) -> List[OutputWord]:
+        """Answer a batch of words, executing only its maximal members."""
+        self.statistics.batches += 1
+        return batch_via_single_queries(self, words)
+
 
 class CachedMembershipOracle:
-    """A prefix-sharing response cache around another membership oracle.
+    """The trie-backed response cache of the batched query engine.
 
-    Every answered query also answers all of its prefixes, so the cache
-    stores outputs per word and serves prefixes directly.  When a cached
-    prefix disagrees with a later answer for the same word the underlying
-    system is not deterministic (or its reset is broken) and a
-    :class:`~repro.errors.NonDeterminismError` is raised, mirroring how the
-    paper detects incorrect reset sequences (Section 7.1).
+    Every answered query also answers all of its prefixes; the
+    :class:`~repro.learning.query_engine.ResponseTrie` stores them
+    structurally, so the cache needs O(1) extra space per *new* symbol
+    instead of one dictionary entry per prefix.  On a miss the longest
+    cached prefix is reused: when the delegate supports resume only the
+    un-cached suffix is executed, otherwise the full word is executed once.
+    Conflicting observations for the same prefix raise a
+    :class:`~repro.errors.NonDeterminismError`, mirroring how the paper
+    detects incorrect reset sequences (Section 7.1).
+    """
+
+    def __init__(self, delegate: MembershipOracle) -> None:
+        self._delegate = delegate
+        self._trie = ResponseTrie()
+        self._resume = supports_resume(delegate)
+        self.statistics = QueryStatistics()
+
+    # ----------------------------------------------------------- single query
+
+    def output_query(self, word: Sequence[Input]) -> OutputWord:
+        word = tuple(word)
+        cached = self._trie.lookup(word)
+        if cached is not None:
+            self.statistics.cache_hits += 1
+            return cached
+        return self._execute(word)
+
+    def _execute(self, word: Word) -> OutputWord:
+        """Answer an un-cached word, reusing the longest cached prefix."""
+        prefix_length, prefix_outputs = self._trie.longest_cached_prefix(word)
+        if self._resume and 0 < prefix_length < len(word):
+            suffix = word[prefix_length:]
+            self.statistics.record_query(len(suffix))
+            self.statistics.resumed_symbols += len(suffix)
+            suffix_outputs = tuple(
+                self._delegate.output_query_resume(word[:prefix_length], suffix)
+            )
+            if len(suffix_outputs) != len(suffix):
+                raise OutputLengthMismatchError(suffix, suffix_outputs)
+            outputs = prefix_outputs + suffix_outputs
+        else:
+            self.statistics.record_query(len(word))
+            outputs = tuple(self._delegate.output_query(word))
+            if len(outputs) != len(word):
+                raise OutputLengthMismatchError(word, outputs)
+        self._trie.insert(word, outputs)
+        return outputs
+
+    # ----------------------------------------------------------- batch query
+
+    def output_query_batch(self, words: Sequence[Sequence[Input]]) -> List[OutputWord]:
+        """Answer a batch: dedupe, prefix-subsume, then execute only misses.
+
+        Cached words are served from the trie; the remaining maximal words
+        are executed (through the delegate's own batch entry point when it
+        has one) and inserted, after which every requested word — duplicate,
+        prefix or miss — is answered from the trie.
+        """
+        words = [tuple(word) for word in words]
+        self.statistics.batches += 1
+        # Genuine cache hits: words fully answered by the trie as it stands
+        # *before* this batch executes anything.  Whatever else is answered
+        # without an execution was served by intra-batch dedup/subsumption.
+        already_cached = sum(1 for word in words if self._trie.lookup(word) is not None)
+        missing: List[Word] = []
+        for word in dedupe_and_subsume(words):
+            if self._trie.lookup(word) is None:
+                missing.append(word)
+        self.statistics.cache_hits += already_cached
+        self.statistics.subsumed_words += len(words) - already_cached - len(missing)
+        if missing and supports_batching(self._delegate) and not self._resume:
+            answered = self._delegate.output_query_batch(missing)
+            for word, outputs in zip(missing, answered):
+                outputs = tuple(outputs)
+                if len(outputs) != len(word):
+                    raise OutputLengthMismatchError(word, outputs)
+                self.statistics.record_query(len(word))
+                self._trie.insert(word, outputs)
+        else:
+            # Execute one by one so every answered word's prefixes are cached
+            # before the next miss — later words in the batch then resume
+            # from (or are fully served by) earlier answers.
+            for word in missing:
+                self._execute(word)
+        results: List[OutputWord] = []
+        for word in words:
+            outputs = self._trie.lookup(word)
+            if outputs is None:  # pragma: no cover - every word was inserted
+                raise OutputLengthMismatchError(word, ())
+            results.append(outputs)
+        return results
+
+    # ------------------------------------------------------------- inspection
+
+    @property
+    def size(self) -> int:
+        """Number of cached prefixes (trie nodes below the root)."""
+        return len(self._trie)
+
+    def clear(self) -> None:
+        """Drop all cached responses."""
+        self._trie.clear()
+
+
+class DictCachedMembershipOracle:
+    """The pre-trie response cache: one dictionary entry per cached prefix.
+
+    This is the seed implementation of :class:`CachedMembershipOracle`,
+    retained verbatim (minus the length-mismatch bug) so
+    ``benchmarks/bench_query_engine.py`` can measure the engine against the
+    exact baseline it replaced.  New code should use the trie-backed cache.
     """
 
     def __init__(self, delegate: MembershipOracle) -> None:
@@ -122,12 +292,22 @@ class CachedMembershipOracle:
         self.statistics.record_query(len(word))
         outputs = tuple(self._delegate.output_query(word))
         if len(outputs) != len(word):
-            raise NonDeterminismError(word, outputs, word)
+            raise OutputLengthMismatchError(word, outputs)
         self._check_consistency(word, outputs)
         # Store the word and all its prefixes.
         for length in range(1, len(word) + 1):
             self._cache.setdefault(word[:length], outputs[:length])
         return outputs
+
+    def output_query_batch(self, words: Sequence[Sequence[Input]]) -> List[OutputWord]:
+        """Answer a batch word by word, in order — the seed's exact behaviour.
+
+        No deduplication or prefix-subsumption happens here on purpose: this
+        class is the measurement baseline, and the seed executed each word
+        individually (relying only on the per-word dictionary for repeats).
+        """
+        self.statistics.batches += 1
+        return [self.output_query(word) for word in words]
 
     def _check_consistency(self, word: Word, outputs: OutputWord) -> None:
         for length in range(1, len(word) + 1):

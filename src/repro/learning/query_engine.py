@@ -1,0 +1,209 @@
+"""The batched, trie-backed query engine of the learning hot path.
+
+Membership queries dominate the cost of every experiment the paper reports
+(Tables 2 and 4 count them precisely), so this module centralises the three
+optimisations every consumer of the oracle protocol shares:
+
+* :class:`ResponseTrie` — a prefix tree over input words storing one output
+  symbol per node.  Lookup and insertion are O(|w|); storing an answer
+  automatically stores the answer of every prefix (Mealy output queries are
+  prefix-closed), and inserting an answer that disagrees with a previously
+  stored prefix raises :class:`~repro.errors.NonDeterminismError`, the
+  signal the paper uses to reject broken reset sequences (Section 7.1).
+
+* :func:`dedupe_and_subsume` — batch pre-processing: duplicate words are
+  collapsed and words that are proper prefixes of other words in the batch
+  are *subsumed* (answered by slicing the longer word's answer), so a batch
+  executes only its maximal words.
+
+* :func:`output_query_batch` — the dispatch helper: oracles that implement
+  the batched protocol (``output_query_batch``) receive the whole batch at
+  once; plain single-query oracles are driven word by word.  This is what
+  lets the observation table, the conformance tester and the Polca pipeline
+  talk to any oracle without caring whether it batches natively.
+
+The batched-oracle protocol
+---------------------------
+
+An oracle *may* implement any of the following extensions on top of the
+mandatory ``output_query(word)``:
+
+``output_query_batch(words)``
+    Answer many words in one call.  Implementations are expected to dedupe
+    and prefix-subsume before touching the system under learning.
+
+``output_query_resume(prefix, suffix)``
+    Answer ``prefix + suffix`` while only *executing* ``suffix``, resuming
+    from the state reached by ``prefix`` (the oracle must have answered a
+    word extending ``prefix`` before).  Only meaningful for oracles whose
+    backend keeps sessions alive (simulated machines here; resumable
+    hardware sessions are an open ROADMAP item).  Oracles advertise the
+    capability with a truthy ``supports_resume`` attribute.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.errors import NonDeterminismError
+
+Input = Hashable
+Output = Hashable
+Word = Tuple[Input, ...]
+OutputWord = Tuple[Output, ...]
+
+
+class _TrieNode:
+    """One node of the response trie: the output of the edge reaching it."""
+
+    __slots__ = ("children", "output")
+
+    def __init__(self) -> None:
+        self.children: Dict[Input, "_TrieNode"] = {}
+        self.output: Optional[Output] = None
+
+
+class ResponseTrie:
+    """A prefix tree mapping input words to output words.
+
+    Unlike a per-word dictionary, the trie shares the storage of common
+    prefixes structurally: caching the answer of ``u·v`` caches the answer
+    of every prefix of ``u·v`` in the same O(|u·v|) nodes.
+    """
+
+    def __init__(self) -> None:
+        self._root = _TrieNode()
+        self._size = 0  # number of nodes below the root == cached prefixes
+
+    def __len__(self) -> int:
+        return self._size
+
+    def lookup(self, word: Sequence[Input]) -> Optional[OutputWord]:
+        """Return the cached output word for ``word``, or ``None``."""
+        node = self._root
+        outputs: List[Output] = []
+        for symbol in word:
+            node = node.children.get(symbol)
+            if node is None:
+                return None
+            outputs.append(node.output)
+        return tuple(outputs)
+
+    def longest_cached_prefix(self, word: Sequence[Input]) -> Tuple[int, OutputWord]:
+        """Return ``(k, outputs)`` for the longest cached prefix ``word[:k]``."""
+        node = self._root
+        outputs: List[Output] = []
+        for symbol in word:
+            child = node.children.get(symbol)
+            if child is None:
+                break
+            outputs.append(child.output)
+            node = child
+        return len(outputs), tuple(outputs)
+
+    def insert(self, word: Sequence[Input], outputs: Sequence[Output]) -> None:
+        """Store ``outputs`` for ``word`` (and thereby for all its prefixes).
+
+        Raises :class:`~repro.errors.NonDeterminismError` when a stored
+        prefix disagrees with the new observation — the system under
+        learning answered the same input prefix differently across runs.
+        """
+        word = tuple(word)
+        outputs = tuple(outputs)
+        if len(word) != len(outputs):
+            raise ValueError(
+                f"word of length {len(word)} needs exactly {len(word)} outputs, "
+                f"got {len(outputs)}"
+            )
+        node = self._root
+        for position, symbol in enumerate(word):
+            child = node.children.get(symbol)
+            if child is None:
+                child = _TrieNode()
+                child.output = outputs[position]
+                node.children[symbol] = child
+                self._size += 1
+            elif child.output != outputs[position]:
+                raise NonDeterminismError(
+                    word[: position + 1],
+                    self.longest_cached_prefix(word[: position + 1])[1],
+                    outputs[: position + 1],
+                )
+            node = child
+
+    def clear(self) -> None:
+        """Drop every cached response."""
+        self._root = _TrieNode()
+        self._size = 0
+
+
+def dedupe_and_subsume(words: Sequence[Sequence[Input]]) -> List[Word]:
+    """Return the *maximal* words of a batch, deduplicated, in first-seen order.
+
+    A word is dropped when it is a duplicate or a proper prefix of another
+    word in the batch: its answer is a slice of the longer word's answer, so
+    executing the maximal words answers the whole batch.  The empty word is
+    always dropped (its answer is the empty output word).
+    """
+    unique: List[Word] = []
+    seen = set()
+    for word in words:
+        word = tuple(word)
+        if word and word not in seen:
+            seen.add(word)
+            unique.append(word)
+    proper_prefixes = set()
+    for word in unique:
+        for length in range(1, len(word)):
+            proper_prefixes.add(word[:length])
+    return [word for word in unique if word not in proper_prefixes]
+
+
+def supports_batching(oracle) -> bool:
+    """True when ``oracle`` implements the batched-oracle protocol."""
+    return callable(getattr(oracle, "output_query_batch", None))
+
+
+def supports_resume(oracle) -> bool:
+    """True when ``oracle`` can resume execution from a previously run prefix."""
+    return bool(getattr(oracle, "supports_resume", False)) and callable(
+        getattr(oracle, "output_query_resume", None)
+    )
+
+
+def output_query_batch(oracle, words: Sequence[Sequence[Input]]) -> List[OutputWord]:
+    """Answer ``words`` through ``oracle``, batching when it supports it.
+
+    The result has exactly one output word per input word, in input order
+    (duplicates and prefixes included) — batching is transparent to callers.
+    """
+    words = [tuple(word) for word in words]
+    if supports_batching(oracle):
+        return [tuple(outputs) for outputs in oracle.output_query_batch(words)]
+    return batch_via_single_queries(oracle, words)
+
+
+def batch_via_single_queries(oracle, words: Sequence[Word]) -> List[OutputWord]:
+    """Answer a batch through ``oracle.output_query``, executing only its
+    maximal words and serving duplicates/prefixes by slicing.
+
+    This is both the fallback for oracles without a native batch entry
+    point and the shared implementation behind the simple batching oracles
+    (:class:`~repro.learning.oracles.FunctionOracle`,
+    :class:`~repro.learning.oracles.MealyMachineOracle`, Polca).
+    """
+    answers = ResponseTrie()
+    for word in dedupe_and_subsume(words):
+        answers.insert(word, oracle.output_query(word))
+    return serve_from_trie(words, answers)
+
+
+def serve_from_trie(words: Sequence[Word], answers: ResponseTrie) -> List[OutputWord]:
+    """Answer every word of a batch from a trie holding its maximal answers."""
+    results: List[OutputWord] = []
+    for word in words:
+        outputs = answers.lookup(word)
+        if outputs is None:  # pragma: no cover - guarded by dedupe_and_subsume
+            raise KeyError(f"word {word!r} was not answered by the batch")
+        results.append(outputs)
+    return results

@@ -35,6 +35,7 @@ from repro.core.alphabet import (
 )
 from repro.core.trace import Trace
 from repro.errors import LearningError, NonDeterminismError, PolicyError
+from repro.learning.query_engine import batch_via_single_queries
 from repro.polca.interfaces import CacheProbeInterface
 
 Block = Hashable
@@ -154,6 +155,18 @@ class PolcaMembershipOracle:
             content[evicted] = block
             outputs.append(evicted)
         return tuple(outputs)
+
+    def output_query_batch(
+        self, words: Sequence[Sequence[PolicyInput]]
+    ) -> List[Tuple[PolicyOutput, ...]]:
+        """Answer a batch of policy words, executing only its maximal members.
+
+        Polca's outputs are prefix-closed (each symbol's output depends only
+        on the preceding symbols), so duplicate words and words that are
+        proper prefixes of other batch members are served by slicing the
+        longer word's answer — none of their probes reach the cache.
+        """
+        return batch_via_single_queries(self, words)
 
     def check_trace(self, trace: Trace) -> bool:
         """Decide whether ``trace`` belongs to the policy semantics ``[[P]]``.

@@ -19,6 +19,7 @@ from repro.core.mealy import MealyMachine
 from repro.errors import LearningError
 from repro.learning.equivalence import ConformanceEquivalenceOracle
 from repro.learning.learner import LearningResult, MealyLearner
+from repro.learning.oracles import CachedMembershipOracle
 from repro.polca.algorithm import PolcaMembershipOracle, PolcaStatistics
 from repro.polca.interfaces import CacheProbeInterface, SimulatedCacheInterface
 from repro.policies.base import ReplacementPolicy
@@ -80,6 +81,8 @@ class PolicyLearningPipeline:
         counterexample_strategy: str = "rivest-schapire",
         identify: bool = True,
         identification_candidates: Optional[Sequence[str]] = None,
+        max_tests: Optional[int] = None,
+        batch_size: int = 64,
     ) -> None:
         self.cache = cache
         self.depth = depth
@@ -87,15 +90,30 @@ class PolicyLearningPipeline:
         self.counterexample_strategy = counterexample_strategy
         self.identify = identify
         self.identification_candidates = identification_candidates
+        self.max_tests = max_tests
+        self.batch_size = batch_size
 
     def run(self) -> PolicyLearningReport:
-        """Learn the policy of the configured cache interface."""
+        """Learn the policy of the configured cache interface.
+
+        One trie-backed query engine is shared between the observation
+        table and the conformance tester, so equivalence-testing words whose
+        prefixes were already learned (or vice versa) never hit the cache
+        interface twice.
+        """
         start = time.perf_counter()
         polca = PolcaMembershipOracle(self.cache)
-        equivalence = ConformanceEquivalenceOracle(polca, depth=self.depth, method=self.method)
+        engine = CachedMembershipOracle(polca)
+        equivalence = ConformanceEquivalenceOracle(
+            engine,
+            depth=self.depth,
+            method=self.method,
+            max_tests=self.max_tests,
+            batch_size=self.batch_size,
+        )
         learner = MealyLearner(
             polca.alphabet(),
-            polca,
+            engine,
             equivalence,
             counterexample_strategy=self.counterexample_strategy,
         )
@@ -114,6 +132,12 @@ class PolicyLearningPipeline:
             associativity=self.cache.associativity,
             identified_policy=identified,
             wall_clock_seconds=elapsed,
+            extra={
+                "cache_hits": result.statistics.cache_hits,
+                "batches": result.statistics.batches,
+                "tests_skipped": result.statistics.tests_skipped,
+                "cached_prefixes": engine.size,
+            },
         )
 
 
