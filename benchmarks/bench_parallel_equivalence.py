@@ -1,0 +1,149 @@
+"""Process-parallel conformance testing vs. the serial batched path.
+
+The acceptance experiment of the parallel-equivalence PR: learn policies
+from their software-simulated caches through the full Polca + L* +
+Wp-method pipeline twice — serially and with a process pool (``workers=2``)
+— at conformance depth 2, and compare:
+
+* the **learned machines**, which must be bit-identical (the pool changes
+  where suite words execute, never what is learned);
+* the **wall clock** of the two runs (the suite dominates at depth ≥ 2, so
+  with more than one physical core the parallel path wins); and
+* the **per-worker executed-query counts**, showing the suite really was
+  spread across worker processes.
+
+On a single-core host the parallel run cannot be faster — the benchmark
+still verifies machine identity and worker accounting, and reports the
+observed ratio either way.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_equivalence.py [--full]
+
+or through pytest (the PLRU-8 run takes minutes and is marked slow)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_parallel_equivalence.py -m slow
+"""
+
+import os
+import sys
+import time
+
+import pytest
+
+from repro.polca.pipeline import learn_simulated_policy
+from repro.policies.registry import make_policy
+
+#: (policy, associativity, conformance depth) exercised by the benchmark.
+#: PLRU-8 is the paper's 128-state Table 2 machine; SRRIP-HP at
+#: associativity 2 keeps a cheap smoke configuration.
+CONFIGURATIONS = [
+    ("SRRIP-HP", 2, 2),
+    ("PLRU", 8, 2),
+]
+
+#: Added by --full: the 178-state SRRIP machine (tens of minutes serially).
+FULL_CONFIGURATIONS = [
+    ("SRRIP-HP", 4, 2),
+]
+
+WORKERS = 2
+
+
+def run_configuration(policy_name, associativity, depth, workers=None):
+    """Learn one configuration; return the report plus its wall clock."""
+    policy = make_policy(policy_name, associativity)
+    start = time.perf_counter()
+    report = learn_simulated_policy(
+        policy, depth=depth, identify=False, workers=workers
+    )
+    seconds = time.perf_counter() - start
+    return report, seconds
+
+
+def compare_paths(policy_name, associativity, depth):
+    """Run serial and parallel; assert identical machines; return metrics."""
+    serial, serial_seconds = run_configuration(policy_name, associativity, depth)
+    parallel, parallel_seconds = run_configuration(
+        policy_name, associativity, depth, workers=WORKERS
+    )
+    assert parallel.machine == serial.machine, (
+        f"{policy_name}-{associativity}: parallel run learned a different machine!"
+    )
+    return {
+        "policy": f"{policy_name}-{associativity}",
+        "depth": depth,
+        "states": serial.num_states,
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": serial_seconds / max(1e-9, parallel_seconds),
+        "parallel_words": parallel.extra["parallel_words"],
+        "parallel_chunks": parallel.extra["parallel_chunks"],
+        "worker_query_counts": parallel.extra["worker_query_counts"],
+        "worker_symbol_counts": parallel.extra["worker_symbol_counts"],
+    }
+
+
+def report_metrics(metrics):
+    workers = ", ".join(
+        f"pid {pid}: {queries} queries"
+        for pid, queries in sorted(metrics["worker_query_counts"].items())
+    )
+    print(
+        f"{metrics['policy']:>12} depth {metrics['depth']}: "
+        f"{metrics['states']} states, "
+        f"serial {metrics['serial_seconds']:.1f} s, "
+        f"parallel({WORKERS}) {metrics['parallel_seconds']:.1f} s "
+        f"(x{metrics['speedup']:.2f}), "
+        f"{metrics['parallel_words']} words in {metrics['parallel_chunks']} chunks "
+        f"[{workers}]"
+    )
+
+
+# --------------------------------------------------------------------- pytest
+
+
+def test_parallel_smoke_identical_machines():
+    """Cheap configuration: identical machines and real worker traffic."""
+    metrics = compare_paths("SRRIP-HP", 2, 2)
+    assert metrics["parallel_words"] > 0
+    assert sum(metrics["worker_query_counts"].values()) > 0
+
+
+@pytest.mark.slow
+def test_parallel_plru8_depth2():
+    """The acceptance configuration: PLRU-8 at depth 2 (minutes of compute)."""
+    metrics = compare_paths("PLRU", 8, 2)
+    assert metrics["states"] == 128
+    assert metrics["parallel_words"] > 0
+    # The suite must actually have been distributed over the pool.
+    assert sum(metrics["worker_query_counts"].values()) > 0
+    if (os.cpu_count() or 1) > 1:
+        # With real cores available the conformance-heavy run must win.
+        assert metrics["speedup"] > 1.0, (
+            f"no speedup on a {os.cpu_count()}-core host: "
+            f"{metrics['serial_seconds']:.1f}s serial vs "
+            f"{metrics['parallel_seconds']:.1f}s parallel"
+        )
+
+
+# ----------------------------------------------------------------- standalone
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    configurations = list(CONFIGURATIONS)
+    if "--full" in argv:
+        configurations += FULL_CONFIGURATIONS
+    print(
+        f"== Process-parallel conformance testing ({WORKERS} workers, "
+        f"{os.cpu_count()} cores) =="
+    )
+    for policy_name, associativity, depth in configurations:
+        metrics = compare_paths(policy_name, associativity, depth)
+        report_metrics(metrics)
+    print("\nAll learned machines bit-identical across serial and parallel runs. OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -27,8 +27,24 @@ from repro.policies.registry import make_policy
 PolicyFactory = Callable[[int], ReplacementPolicy]
 
 
+@dataclass(frozen=True)
+class _NamedPolicyFactory:
+    """A picklable ``associativity -> policy`` factory resolving a registry name.
+
+    A plain lambda would work just as well locally, but cache levels (and
+    everything holding them, up to a whole simulated CPU) must survive
+    pickling so the parallel conformance tester can rebuild them inside
+    pool workers.
+    """
+
+    policy_name: str
+
+    def __call__(self, associativity: int) -> ReplacementPolicy:
+        return make_policy(self.policy_name, associativity)
+
+
 def _factory_from_name(name: str) -> PolicyFactory:
-    return lambda associativity: make_policy(name, associativity)
+    return _NamedPolicyFactory(name)
 
 
 @dataclass

@@ -12,6 +12,8 @@ import json
 from pathlib import Path
 from typing import Dict, Optional, Tuple
 
+from repro.errors import CacheQueryError
+
 Key = Tuple[str, int, int, str]
 
 
@@ -68,10 +70,38 @@ class QueryCache:
     # ----------------------------------------------------------- persistence
 
     def _load(self) -> None:
-        raw = json.loads(self._path.read_text())
-        for item in raw:
-            key = (item["level"], item["slice"], item["set"], item["query"])
-            self._entries[key] = tuple(item["outcomes"])
+        """Populate the cache from its JSON file.
+
+        A corrupted, truncated or empty file raises a
+        :class:`~repro.errors.CacheQueryError` naming the file instead of
+        leaking a raw ``json.JSONDecodeError`` traceback — a half-written
+        cache (e.g. a killed run) is an expected failure mode, and callers
+        can delete the file and retry.  Nothing is partially loaded: the
+        cache stays empty when loading fails.
+        """
+        try:
+            raw = json.loads(self._path.read_text())
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise CacheQueryError(
+                f"query cache file {self._path} is unreadable or corrupted "
+                f"({exc}); delete it to start with an empty cache"
+            ) from exc
+        if not isinstance(raw, list):
+            raise CacheQueryError(
+                f"query cache file {self._path} is malformed: expected a JSON "
+                f"list of entries, got {type(raw).__name__}"
+            )
+        entries: Dict[Key, Tuple[str, ...]] = {}
+        for index, item in enumerate(raw):
+            try:
+                key = (item["level"], item["slice"], item["set"], item["query"])
+                entries[key] = tuple(item["outcomes"])
+            except (KeyError, TypeError) as exc:
+                raise CacheQueryError(
+                    f"query cache file {self._path} is malformed at entry "
+                    f"{index}: {exc!r}; delete it to start with an empty cache"
+                ) from exc
+        self._entries.update(entries)
 
     def save(self) -> None:
         """Write the cache to its JSON file (no-op for purely in-memory caches)."""

@@ -29,9 +29,9 @@ from repro.experiments.table4 import format_table4, run_table4
 from repro.experiments.table5 import format_table5, run_table5
 
 
-def _print_table2(mode: str) -> None:
+def _print_table2(mode: str, workers: Optional[int]) -> None:
     print("== Table 2: learning from software-simulated caches ==")
-    print(format_table2(run_table2(mode)))
+    print(format_table2(run_table2(mode, workers=workers)))
 
 
 def _print_table3() -> None:
@@ -39,9 +39,9 @@ def _print_table3() -> None:
     print(format_table3())
 
 
-def _print_table4(mode: str) -> None:
+def _print_table4(mode: str, workers: Optional[int]) -> None:
     print("== Table 4: learning from (simulated) hardware via CacheQuery ==")
-    print(format_table4(run_table4(mode)))
+    print(format_table4(run_table4(mode, workers=workers)))
 
 
 def _print_table5(mode: str) -> None:
@@ -101,16 +101,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--sets", type=int, default=128, help="number of L3 sets scanned by leader-sets"
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run conformance testing on a pool of N worker processes "
+        "(table2/table4; learned machines are identical to serial runs)",
+    )
+    parser.add_argument(
         "--json", action="store_true", help="emit raw results as JSON instead of tables"
     )
     arguments = parser.parse_args(argv)
+    if arguments.workers is not None and arguments.workers < 1:
+        parser.error("--workers must be >= 1")
 
     if arguments.json:
         payload = {}
         if arguments.experiment in ("table2", "all"):
-            payload["table2"] = [row.__dict__ for row in run_table2(arguments.mode)]
+            payload["table2"] = [
+                row.__dict__ for row in run_table2(arguments.mode, workers=arguments.workers)
+            ]
         if arguments.experiment in ("table4", "all"):
-            payload["table4"] = [row.__dict__ for row in run_table4(arguments.mode)]
+            payload["table4"] = [
+                row.__dict__ for row in run_table4(arguments.mode, workers=arguments.workers)
+            ]
         if arguments.experiment in ("table5", "all"):
             payload["table5"] = [
                 {**row.__dict__, "explanation": row.explanation.pretty() if row.explanation else None}
@@ -121,11 +135,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     if arguments.experiment in ("table2", "all"):
-        _print_table2(arguments.mode)
+        _print_table2(arguments.mode, arguments.workers)
     if arguments.experiment in ("table3", "all"):
         _print_table3()
     if arguments.experiment in ("table4", "all"):
-        _print_table4(arguments.mode)
+        _print_table4(arguments.mode, arguments.workers)
     if arguments.experiment in ("table5", "all"):
         _print_table5(arguments.mode)
     if arguments.experiment in ("overhead", "all"):

@@ -126,15 +126,21 @@ def run_table2(
     configurations: Optional[Sequence[Tuple[str, int]]] = None,
     *,
     depth: int = 1,
+    workers: Optional[int] = None,
 ) -> List[Table2Row]:
-    """Learn every configured policy from its software-simulated cache."""
+    """Learn every configured policy from its software-simulated cache.
+
+    ``workers=N`` (N > 1) runs each configuration's conformance testing on
+    a process pool; the learned machines are bit-identical to serial runs
+    (see :mod:`repro.learning.parallel`).
+    """
     if configurations is None:
         configurations = table2_configurations(mode)
     rows: List[Table2Row] = []
     for policy_name, associativity in configurations:
         policy = make_policy(policy_name, associativity)
         start = time.perf_counter()
-        report = learn_simulated_policy(policy, depth=depth)
+        report = learn_simulated_policy(policy, depth=depth, workers=workers)
         elapsed = time.perf_counter() - start
         rows.append(
             Table2Row(

@@ -188,6 +188,7 @@ def run_table4_configuration(
     repetitions: int = 1,
     noise_std: float = 0.0,
     depth: int = 1,
+    workers: Optional[int] = None,
 ) -> Table4Row:
     """Run the hardware-learning pipeline for one (CPU, level) target."""
     paper_policy = PAPER_TABLE4_POLICY.get((configuration.cpu, configuration.level))
@@ -246,8 +247,11 @@ def run_table4_configuration(
             name for name in available_policies() if name != paper_policy
         ]
     start = time.perf_counter()
+    # The CacheQuery interface wraps a whole (picklable) simulated CPU, so
+    # pool workers receive a snapshot and replay suite chunks against their
+    # own copy — the hardware-path analogue of rebuilding a simulator.
     report = learn_policy_from_cache(
-        interface, depth=depth, identification_candidates=candidates
+        interface, depth=depth, identification_candidates=candidates, workers=workers
     )
     elapsed = time.perf_counter() - start
     return Table4Row(
@@ -273,13 +277,14 @@ def run_table4(
     *,
     repetitions: int = 1,
     noise_std: float = 0.0,
+    workers: Optional[int] = None,
 ) -> List[Table4Row]:
     """Run the hardware-learning experiment for every configured target."""
     if configurations is None:
         configurations = table4_configurations(mode)
     return [
         run_table4_configuration(
-            configuration, repetitions=repetitions, noise_std=noise_std
+            configuration, repetitions=repetitions, noise_std=noise_std, workers=workers
         )
         for configuration in configurations
     ]

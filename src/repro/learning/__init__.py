@@ -12,6 +12,13 @@ conformance tester stage whole rounds of words, and the
 :class:`~repro.learning.oracles.CachedMembershipOracle` dedupes,
 prefix-subsumes and caches them in a response trie before anything reaches
 the system under learning.
+
+Conformance testing additionally scales across processes
+(:mod:`repro.learning.parallel`): with ``workers=N`` the
+:class:`~repro.learning.equivalence.ConformanceEquivalenceOracle` ships
+suite chunks to a process pool whose workers rebuild the system under test
+from a picklable oracle factory; answers merge back through the shared
+trie, keeping learned machines bit-identical to serial runs.
 """
 
 from repro.learning.query_engine import (
@@ -41,6 +48,14 @@ from repro.learning.wpmethod import (
     w_method_suite,
     wp_method_suite,
 )
+from repro.learning.parallel import (
+    CacheInterfaceOracleFactory,
+    FunctionOracleFactory,
+    MealyMachineOracleFactory,
+    OracleFactory,
+    SimulatedPolicyOracleFactory,
+    oracle_factory_for_cache,
+)
 from repro.learning.equivalence import (
     ConformanceEquivalenceOracle,
     EquivalenceOracle,
@@ -69,6 +84,12 @@ __all__ = [
     "transition_cover",
     "w_method_suite",
     "wp_method_suite",
+    "CacheInterfaceOracleFactory",
+    "FunctionOracleFactory",
+    "MealyMachineOracleFactory",
+    "OracleFactory",
+    "SimulatedPolicyOracleFactory",
+    "oracle_factory_for_cache",
     "ConformanceEquivalenceOracle",
     "EquivalenceOracle",
     "PerfectEquivalenceOracle",

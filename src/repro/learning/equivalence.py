@@ -16,17 +16,25 @@ Three implementations are provided:
 
 from __future__ import annotations
 
+import multiprocessing
 import random
-from concurrent.futures import Executor
-from typing import Hashable, List, Optional, Protocol, Sequence, Tuple
+from concurrent.futures import Executor, Future, ProcessPoolExecutor
+from typing import Dict, Hashable, List, Optional, Protocol, Sequence, Tuple
 
 from repro.core.mealy import MealyMachine
+from repro.errors import LearningError, OutputLengthMismatchError
 from repro.learning.oracles import MembershipOracle, QueryStatistics
+from repro.learning.parallel import (
+    OracleFactory,
+    answer_words_in_worker,
+    initialize_worker,
+)
 from repro.learning.query_engine import output_query_batch
 from repro.learning.wpmethod import w_method_suite, wp_method_suite
 
 Input = Hashable
 Word = Tuple[Input, ...]
+OutputWord = Tuple[Hashable, ...]
 
 
 class EquivalenceOracle(Protocol):
@@ -54,6 +62,25 @@ class ConformanceEquivalenceOracle:
     ``(|H| + k)``-completeness guarantee of Corollary 3.4, and the learner
     surfaces the counter so reports can flag the caveat instead of silently
     claiming completeness.
+
+    Process-parallel execution
+    --------------------------
+
+    With ``workers=N`` (N > 1) and a picklable ``oracle_factory`` (see
+    :mod:`repro.learning.parallel`), suite chunks are shipped to a
+    :class:`~concurrent.futures.ProcessPoolExecutor` whose workers each
+    rebuild a fresh system under test from the factory.  Chunks are
+    submitted eagerly but consumed *in suite order*, so the returned
+    counterexample is always the first mismatching word — identical to a
+    serial run, which keeps learned machines bit-identical across worker
+    counts.  Worker answers are merged back into the shared
+    :class:`~repro.learning.oracles.CachedMembershipOracle` trie when the
+    oracle is one, so they feed the learner's cache and still trip
+    non-determinism detection; words the shared trie already knows are
+    never shipped.  Per-worker executed-query counts are accumulated in
+    ``worker_query_counts`` / ``worker_symbol_counts`` (keyed by worker
+    PID).  Call :meth:`close` (or use the oracle as a context manager) to
+    shut the pool down.
     """
 
     def __init__(
@@ -65,23 +92,87 @@ class ConformanceEquivalenceOracle:
         max_tests: Optional[int] = None,
         batch_size: int = 64,
         executor: Optional[Executor] = None,
+        workers: Optional[int] = None,
+        oracle_factory: Optional[OracleFactory] = None,
+        start_method: Optional[str] = None,
     ) -> None:
         if method not in ("w", "wp"):
             raise ValueError(f"method must be 'w' or 'wp', got {method!r}")
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if workers is not None and workers > 1:
+            if oracle_factory is None:
+                raise LearningError(
+                    "workers > 1 needs an oracle_factory so pool workers can "
+                    "rebuild the system under test (see repro.learning.parallel)"
+                )
+            if executor is not None:
+                raise LearningError(
+                    "pass either a thread executor or workers/oracle_factory, not both"
+                )
         self.oracle = oracle
         self.depth = depth
         self.method = method
         self.max_tests = max_tests
         self.batch_size = batch_size
         self.executor = executor
+        self.workers = workers
+        self.oracle_factory = oracle_factory
+        self.start_method = start_method
         self.statistics = QueryStatistics()
+        #: Executed queries per pool worker, keyed by worker PID.
+        self.worker_query_counts: Dict[int, int] = {}
+        #: Executed symbols per pool worker, keyed by worker PID.
+        self.worker_symbol_counts: Dict[int, int] = {}
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # -------------------------------------------------------- pool lifecycle
+
+    @property
+    def _parallel(self) -> bool:
+        return self.workers is not None and self.workers > 1
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            context = (
+                multiprocessing.get_context(self.start_method)
+                if self.start_method is not None
+                else None
+            )
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=context,
+                initializer=initialize_worker,
+                initargs=(self.oracle_factory,),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; a no-op for serial oracles)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "ConformanceEquivalenceOracle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -------------------------------------------------------------- the suite
 
     def _suite(self, hypothesis: MealyMachine):
-        if self.method == "w":
-            return w_method_suite(hypothesis, self.depth)
-        return wp_method_suite(hypothesis, self.depth)
+        generate = w_method_suite if self.method == "w" else wp_method_suite
+        try:
+            return generate(hypothesis, self.depth)
+        except LearningError:
+            # The W-set construction requires a minimal machine; observation
+            # tables occasionally hand over hypotheses with equivalent rows
+            # (seen with deep suites on BRRIP).  The minimized machine is
+            # trace-equivalent, so its suite tests the same behaviours.
+            return generate(hypothesis.minimize(), self.depth)
 
     def _answer_chunk(self, chunk: Sequence[Word]) -> List[Tuple]:
         if self.executor is not None:
@@ -94,6 +185,8 @@ class ConformanceEquivalenceOracle:
         if self.max_tests is not None and len(suite) > self.max_tests:
             self.statistics.tests_skipped += len(suite) - self.max_tests
             suite = suite[: self.max_tests]
+        if self._parallel:
+            return self._find_counterexample_parallel(hypothesis, suite)
         for start in range(0, len(suite), self.batch_size):
             chunk = suite[start : start + self.batch_size]
             self.statistics.test_words += len(chunk)
@@ -103,9 +196,88 @@ class ConformanceEquivalenceOracle:
                     return word
         return None
 
+    # --------------------------------------------------------- parallel path
+
+    def _find_counterexample_parallel(
+        self, hypothesis: MealyMachine, suite: Sequence[Word]
+    ) -> Optional[Word]:
+        pool = self._ensure_pool()
+        cached_answer = getattr(self.oracle, "cached_answer", None)
+        record_external = getattr(self.oracle, "record_external", None)
+        # Ship each chunk's un-cached, not-yet-assigned words; duplicates
+        # across chunks ride with the first chunk that contains them.
+        chunks: List[Tuple[List[Word], List[Word], Optional[Future]]] = []
+        assigned: set = set()
+        for start in range(0, len(suite), self.batch_size):
+            chunk = [tuple(word) for word in suite[start : start + self.batch_size]]
+            missing: List[Word] = []
+            for word in chunk:
+                if word in assigned:
+                    continue
+                if cached_answer is not None and cached_answer(word) is not None:
+                    continue
+                assigned.add(word)
+                missing.append(word)
+            future = pool.submit(answer_words_in_worker, missing) if missing else None
+            chunks.append((chunk, missing, future))
+        answers: Dict[Word, OutputWord] = {}
+        for index, (chunk, missing, future) in enumerate(chunks):
+            self.statistics.test_words += len(chunk)
+            if future is not None:
+                worker_id, worker_answers, queries, symbols = future.result()
+                self.statistics.parallel_chunks += 1
+                self.statistics.parallel_words += len(missing)
+                self.worker_query_counts[worker_id] = (
+                    self.worker_query_counts.get(worker_id, 0) + queries
+                )
+                self.worker_symbol_counts[worker_id] = (
+                    self.worker_symbol_counts.get(worker_id, 0) + symbols
+                )
+                for word, outputs in zip(missing, worker_answers):
+                    outputs = tuple(outputs)
+                    if len(outputs) != len(word):
+                        raise OutputLengthMismatchError(word, outputs)
+                    if record_external is not None:
+                        # Feed the shared trie; raises NonDeterminismError
+                        # when a worker disagrees with a cached prefix.
+                        record_external(word, outputs)
+                    answers[word] = outputs
+            for word in chunk:
+                actual = answers.get(word)
+                if actual is None:
+                    # Cached before this call (or merged via the trie by an
+                    # earlier chunk): a guaranteed hit on the shared cache.
+                    actual = tuple(self.oracle.output_query(word))
+                if actual != hypothesis.run(word):
+                    for _, _, later in chunks[index + 1 :]:
+                        if later is not None:
+                            later.cancel()
+                    return word
+        return None
+
 
 class RandomWalkEquivalenceOracle:
-    """Random-word conformance testing (a cheaper, incomplete alternative)."""
+    """Random-word conformance testing (a cheaper, incomplete alternative).
+
+    Test words are generated in batches of ``batch_size`` and answered
+    through :func:`~repro.learning.query_engine.output_query_batch`, so a
+    trie-backed oracle dedupes and prefix-subsumes random words exactly
+    like Wp-suite words instead of receiving them one ``output_query`` at
+    a time.  Within a batch the first mismatching word (in generation
+    order) is returned, so for a given seed the *first*
+    ``find_counterexample`` call returns the same counterexample at every
+    batch size.  Later calls may diverge across batch sizes: a round that
+    finds a counterexample mid-batch still consumed the whole batch from
+    the RNG, while smaller batches consume fewer words.
+
+    The tradeoff of batching: a whole batch is executed before any of it
+    is compared, so a round that finds a counterexample runs (and counts
+    in ``statistics.test_words``) up to ``batch_size - 1`` words the old
+    word-by-word loop would have skipped.  Against cheap simulator
+    oracles the trie sharing wins; for expensive hardware-backed oracles
+    where every execution is seconds, pick a small ``batch_size`` (1
+    restores the seed's stop-at-first-mismatch cost exactly).
+    """
 
     def __init__(
         self,
@@ -116,23 +288,34 @@ class RandomWalkEquivalenceOracle:
         min_length: int = 3,
         max_length: int = 30,
         seed: int = 0,
+        batch_size: int = 64,
     ) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.oracle = oracle
         self.alphabet = tuple(alphabet)
         self.num_words = num_words
         self.min_length = min_length
         self.max_length = max_length
+        self.batch_size = batch_size
         self._random = random.Random(seed)
         self.statistics = QueryStatistics()
 
+    def _next_word(self) -> Word:
+        length = self._random.randint(self.min_length, self.max_length)
+        return tuple(self._random.choice(self.alphabet) for _ in range(length))
+
     def find_counterexample(self, hypothesis: MealyMachine) -> Optional[Word]:
         self.statistics.equivalence_queries += 1
-        for _ in range(self.num_words):
-            length = self._random.randint(self.min_length, self.max_length)
-            word = tuple(self._random.choice(self.alphabet) for _ in range(length))
-            self.statistics.test_words += 1
-            if tuple(self.oracle.output_query(word)) != hypothesis.run(word):
-                return word
+        remaining = self.num_words
+        while remaining > 0:
+            batch = [self._next_word() for _ in range(min(self.batch_size, remaining))]
+            remaining -= len(batch)
+            self.statistics.test_words += len(batch)
+            actuals = output_query_batch(self.oracle, batch)
+            for word, actual in zip(batch, actuals):
+                if tuple(actual) != hypothesis.run(word):
+                    return word
         return None
 
 

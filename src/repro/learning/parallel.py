@@ -1,0 +1,226 @@
+"""Process-parallel conformance testing: oracle factories and pool workers.
+
+Conformance testing dominates every simulator-backed learning run (the
+Wp-suite of Section 3.3 grows with ``|H|`` and exponentially with the test
+depth ``k``), and its test words are independent of each other — the
+classic embarrassingly parallel shape.  The missing piece for a
+:class:`concurrent.futures.ProcessPoolExecutor` is that worker processes
+cannot share the live system under learning: a simulator oracle holds
+mutable state and (for the hardware path) a whole simulated CPU.
+
+This module closes that gap with *oracle factories*: small picklable
+descriptions of how to rebuild a fresh membership oracle inside a worker
+process.  The pool is created with the factory as its initializer argument,
+so every worker builds its system under test exactly once and then answers
+suite chunks against it; answers travel back to the parent where
+:class:`~repro.learning.equivalence.ConformanceEquivalenceOracle` merges
+them into the shared :class:`~repro.learning.query_engine.ResponseTrie` —
+parallel answers still feed the shared cache and still trip the
+non-determinism detection of Section 7.1.
+
+Because every factory rebuilds a *deterministic* system from the same
+description, a parallel run answers every suite word identically to a
+serial run, and the counterexamples (hence the learned machines) are
+bit-identical — the property ``tests/test_differential_learning.py``
+checks across the whole policy registry.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass
+from typing import Callable, Hashable, List, Protocol, Sequence, Tuple
+
+from repro.core.mealy import MealyMachine
+from repro.errors import LearningError
+
+Input = Hashable
+Output = Hashable
+Word = Tuple[Input, ...]
+OutputWord = Tuple[Output, ...]
+
+
+class OracleFactory(Protocol):
+    """A picklable recipe for building a membership oracle in a worker.
+
+    Implementations must be picklable (the factory is shipped to every pool
+    worker once, as the pool initializer argument) and calling them must
+    return a *fresh* oracle whose answers are identical to the parent
+    process' system under learning.
+    """
+
+    def __call__(self):
+        """Build and return a fresh membership oracle."""
+        ...  # pragma: no cover - protocol
+
+
+@dataclass(frozen=True)
+class SimulatedPolicyOracleFactory:
+    """Rebuild Polca over a software-simulated cache from a registry name.
+
+    This is the factory behind every Table 2 style run: the worker looks
+    ``policy_name`` up in the policy registry, instantiates it at
+    ``associativity`` and wraps it in the same
+    ``SimulatedCacheInterface`` → ``PolcaMembershipOracle`` stack the
+    parent uses, so worker answers are bit-identical to serial ones.
+    """
+
+    policy_name: str
+    associativity: int
+    extra_blocks: int = 2
+
+    def __call__(self):
+        from repro.polca.algorithm import PolcaMembershipOracle
+        from repro.polca.interfaces import SimulatedCacheInterface
+        from repro.policies.registry import make_policy
+
+        policy = make_policy(self.policy_name, self.associativity)
+        interface = SimulatedCacheInterface(policy, extra_blocks=self.extra_blocks)
+        return PolcaMembershipOracle(interface)
+
+
+@dataclass(frozen=True)
+class CacheInterfaceOracleFactory:
+    """Rebuild Polca over a pickled copy of an arbitrary cache interface.
+
+    The generic fallback for cache interfaces that are not registry-backed
+    simulated caches — e.g. the CacheQuery-on-simulated-hardware path of
+    Table 4.  Polca's probes always replay from the reset state, so a
+    pickled snapshot of the interface behaves identically to the original
+    no matter what state it was captured in.
+    """
+
+    cache: object
+
+    def __call__(self):
+        from repro.polca.algorithm import PolcaMembershipOracle
+
+        return PolcaMembershipOracle(self.cache)
+
+
+@dataclass(frozen=True)
+class MealyMachineOracleFactory:
+    """Rebuild a :class:`~repro.learning.oracles.MealyMachineOracle` from its machine."""
+
+    machine: MealyMachine
+
+    def __call__(self):
+        from repro.learning.oracles import MealyMachineOracle
+
+        return MealyMachineOracle(self.machine)
+
+
+@dataclass(frozen=True)
+class FunctionOracleFactory:
+    """Rebuild a :class:`~repro.learning.oracles.FunctionOracle` from a picklable callable.
+
+    ``function`` must be importable from the worker (a module-level
+    function, not a lambda or closure) — the usual pickling rule.
+    """
+
+    function: Callable[[Word], OutputWord]
+
+    def __call__(self):
+        from repro.learning.oracles import FunctionOracle
+
+        return FunctionOracle(self.function)
+
+
+def _is_registry_default(policy) -> bool:
+    """True when ``policy`` equals what the registry builds for its name.
+
+    Matching on the name alone is not enough: e.g. ``SRRIPPolicy(2,
+    variant="HP", bits=3)`` carries the registry name ``SRRIP-HP`` but a
+    non-default ``bits`` — a worker rebuilding it from the name would
+    simulate a *different* policy and the divergence would surface as a
+    spurious non-determinism error.  Policies are pure (all mutable state
+    lives outside them), so comparing type and configured attributes
+    against a freshly built registry instance decides it.
+    """
+    from repro.policies.registry import available_policies, make_policy
+
+    name = getattr(policy, "name", "")
+    if not name or name.upper() not in available_policies():
+        return False
+    try:
+        default = make_policy(name, policy.associativity)
+    except Exception:
+        return False
+    return type(default) is type(policy) and default.__dict__ == policy.__dict__
+
+
+def oracle_factory_for_cache(cache) -> OracleFactory:
+    """Derive an :class:`OracleFactory` for a Polca cache interface.
+
+    Simulated caches whose policy *is* the registry default for its name
+    are described by (policy name, associativity) so workers rebuild them
+    from scratch; any other interface — including registry policies with
+    non-default parameters — is shipped as a pickled snapshot.  Raises
+    :class:`~repro.errors.LearningError` when neither works.
+    """
+    from repro.polca.interfaces import SimulatedCacheInterface
+
+    if isinstance(cache, SimulatedCacheInterface) and _is_registry_default(cache.policy):
+        extra = len(cache.block_universe()) - cache.associativity
+        return SimulatedPolicyOracleFactory(
+            cache.policy.name.upper(), cache.associativity, extra
+        )
+    try:
+        pickle.dumps(cache)
+    except Exception as exc:
+        raise LearningError(
+            f"cache interface {cache!r} cannot be shipped to worker processes; "
+            "pass an explicit oracle_factory"
+        ) from exc
+    return CacheInterfaceOracleFactory(cache)
+
+
+# ------------------------------------------------------------- worker side
+
+#: The per-process oracle, built once by :func:`initialize_worker`.
+_WORKER_ORACLE = None
+
+
+def initialize_worker(factory: OracleFactory) -> None:
+    """Pool initializer: build this worker's oracle from the factory."""
+    global _WORKER_ORACLE
+    _WORKER_ORACLE = factory()
+
+
+def _executed_counters(oracle) -> Tuple[int, int]:
+    """Read (queries, symbols) counters off any oracle's statistics object."""
+    statistics = getattr(oracle, "statistics", None)
+    if statistics is None:
+        return 0, 0
+    queries = getattr(statistics, "membership_queries", None)
+    symbols = getattr(statistics, "membership_symbols", None)
+    if queries is None:  # Polca counts policy-level queries instead
+        queries = getattr(statistics, "policy_queries", 0)
+        symbols = getattr(statistics, "policy_symbols", 0)
+    return int(queries), int(symbols or 0)
+
+
+def answer_words_in_worker(words: Sequence[Word]) -> Tuple[int, List[OutputWord], int, int]:
+    """Answer a suite chunk against this worker's oracle.
+
+    Returns ``(worker_id, answers, executed_queries, executed_symbols)``
+    where the counts cover only this chunk (per-worker totals are kept by
+    the parent).  The chunk goes through
+    :func:`~repro.learning.query_engine.output_query_batch`, so worker-side
+    deduplication and prefix subsumption apply exactly as in a serial run.
+    """
+    from repro.learning.query_engine import output_query_batch
+
+    oracle = _WORKER_ORACLE
+    if oracle is None:  # pragma: no cover - initializer always runs first
+        raise LearningError("pool worker was not initialized with an oracle factory")
+    queries_before, symbols_before = _executed_counters(oracle)
+    answers = output_query_batch(oracle, words)
+    queries_after, symbols_after = _executed_counters(oracle)
+    return (
+        os.getpid(),
+        [tuple(outputs) for outputs in answers],
+        queries_after - queries_before,
+        symbols_after - symbols_before,
+    )

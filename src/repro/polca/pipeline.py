@@ -20,6 +20,7 @@ from repro.errors import LearningError
 from repro.learning.equivalence import ConformanceEquivalenceOracle
 from repro.learning.learner import LearningResult, MealyLearner
 from repro.learning.oracles import CachedMembershipOracle
+from repro.learning.parallel import OracleFactory, oracle_factory_for_cache
 from repro.polca.algorithm import PolcaMembershipOracle, PolcaStatistics
 from repro.polca.interfaces import CacheProbeInterface, SimulatedCacheInterface
 from repro.policies.base import ReplacementPolicy
@@ -70,7 +71,16 @@ def identify_policy(
 
 
 class PolicyLearningPipeline:
-    """Configurable Polca + learner pipeline."""
+    """Configurable Polca + learner pipeline.
+
+    ``workers=N`` (N > 1) runs the conformance-testing side on a process
+    pool: each worker rebuilds the system under test from a picklable
+    ``oracle_factory`` (derived automatically for simulated caches and any
+    picklable cache interface — see
+    :func:`repro.learning.parallel.oracle_factory_for_cache`) and answers
+    Wp-suite chunks locally; the answers merge back into the shared query
+    engine, so the learned machine is bit-identical to a serial run.
+    """
 
     def __init__(
         self,
@@ -83,6 +93,8 @@ class PolicyLearningPipeline:
         identification_candidates: Optional[Sequence[str]] = None,
         max_tests: Optional[int] = None,
         batch_size: int = 64,
+        workers: Optional[int] = None,
+        oracle_factory: Optional[OracleFactory] = None,
     ) -> None:
         self.cache = cache
         self.depth = depth
@@ -92,6 +104,8 @@ class PolicyLearningPipeline:
         self.identification_candidates = identification_candidates
         self.max_tests = max_tests
         self.batch_size = batch_size
+        self.workers = workers
+        self.oracle_factory = oracle_factory
 
     def run(self) -> PolicyLearningReport:
         """Learn the policy of the configured cache interface.
@@ -104,12 +118,18 @@ class PolicyLearningPipeline:
         start = time.perf_counter()
         polca = PolcaMembershipOracle(self.cache)
         engine = CachedMembershipOracle(polca)
+        parallel = self.workers is not None and self.workers > 1
+        factory = self.oracle_factory
+        if parallel and factory is None:
+            factory = oracle_factory_for_cache(self.cache)
         equivalence = ConformanceEquivalenceOracle(
             engine,
             depth=self.depth,
             method=self.method,
             max_tests=self.max_tests,
             batch_size=self.batch_size,
+            workers=self.workers,
+            oracle_factory=factory,
         )
         learner = MealyLearner(
             polca.alphabet(),
@@ -117,7 +137,10 @@ class PolicyLearningPipeline:
             equivalence,
             counterexample_strategy=self.counterexample_strategy,
         )
-        result = learner.learn()
+        try:
+            result = learner.learn()
+        finally:
+            equivalence.close()
         machine = result.machine.minimize()
         identified = None
         if self.identify:
@@ -125,6 +148,18 @@ class PolicyLearningPipeline:
                 machine, self.cache.associativity, self.identification_candidates
             )
         elapsed = time.perf_counter() - start
+        extra = {
+            "cache_hits": result.statistics.cache_hits,
+            "batches": result.statistics.batches,
+            "tests_skipped": result.statistics.tests_skipped,
+            "cached_prefixes": engine.size,
+        }
+        if parallel:
+            extra["workers"] = self.workers
+            extra["parallel_chunks"] = result.statistics.parallel_chunks
+            extra["parallel_words"] = result.statistics.parallel_words
+            extra["worker_query_counts"] = dict(equivalence.worker_query_counts)
+            extra["worker_symbol_counts"] = dict(equivalence.worker_symbol_counts)
         return PolicyLearningReport(
             machine=machine,
             learning_result=result,
@@ -132,12 +167,7 @@ class PolicyLearningPipeline:
             associativity=self.cache.associativity,
             identified_policy=identified,
             wall_clock_seconds=elapsed,
-            extra={
-                "cache_hits": result.statistics.cache_hits,
-                "batches": result.statistics.batches,
-                "tests_skipped": result.statistics.tests_skipped,
-                "cached_prefixes": engine.size,
-            },
+            extra=extra,
         )
 
 

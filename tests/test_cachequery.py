@@ -79,6 +79,61 @@ class TestQueryCache:
         cache.clear()
         assert len(cache) == 0
 
+    def test_hit_ratio(self):
+        cache = QueryCache()
+        assert cache.hit_ratio == 0.0  # never queried: no division by zero
+        cache.put("L1", 0, 0, "A?", ("Hit",))
+        cache.get("L1", 0, 0, "A?")  # hit
+        cache.get("L1", 0, 0, "B?")  # miss
+        cache.get("L1", 0, 0, "A?")  # hit
+        assert cache.hits == 2 and cache.misses == 1
+        assert cache.hit_ratio == pytest.approx(2 / 3)
+
+    def test_persistence_round_trip_multiple_entries(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = QueryCache(str(path))
+        entries = {
+            ("L1", 0, 1, "A?"): ("Miss",),
+            ("L2", 1, 3, "A B?"): ("Hit", "Miss"),
+            ("L3", 2, 7, "@ A _?"): ("Miss", "Hit", "Hit"),
+        }
+        for (level, slice_index, set_index, query), outcomes in entries.items():
+            cache.put(level, slice_index, set_index, query, outcomes)
+        cache.save()
+        reloaded = QueryCache(str(path))
+        assert len(reloaded) == len(entries)
+        for (level, slice_index, set_index, query), outcomes in entries.items():
+            assert reloaded.get(level, slice_index, set_index, query) == outcomes
+        # The reload starts with fresh statistics; the lookups above were hits.
+        assert reloaded.hits == len(entries) and reloaded.misses == 0
+        assert reloaded.hit_ratio == 1.0
+
+    def test_save_is_noop_without_path_and_reload_is_idempotent(self, tmp_path):
+        QueryCache().save()  # purely in-memory: must not raise
+        path = tmp_path / "cache.json"
+        cache = QueryCache(str(path))
+        cache.put("L1", 0, 0, "A?", ("Hit",))
+        cache.save()
+        cache.save()  # saving twice must not duplicate entries
+        assert len(QueryCache(str(path))) == 1
+
+    @pytest.mark.parametrize(
+        "content",
+        ["", "{ not json", '{"level": "L1"}', '[{"level": "L1"}]', "[42]"],
+        ids=["empty", "truncated", "not-a-list", "missing-keys", "bad-entry"],
+    )
+    def test_corrupted_file_raises_cachequery_error(self, tmp_path, content):
+        path = tmp_path / "cache.json"
+        path.write_text(content)
+        with pytest.raises(CacheQueryError, match=str(path)):
+            QueryCache(str(path))
+
+    def test_binary_garbage_raises_cachequery_error(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_bytes(b"\xff\xfe\x00garbage\x80")
+        with pytest.raises(CacheQueryError):
+            QueryCache(str(path))
+
 
 class TestBackend:
     def test_requires_target_configuration(self):

@@ -21,6 +21,7 @@ from repro.learning import (
     output_query_batch,
     supports_batching,
     supports_resume,
+    wp_method_suite,
 )
 from repro.learning.learner import learn_mealy_machine
 from repro.mbl.expansion import expand
@@ -231,6 +232,32 @@ class TestConformanceBatchingAndTruncation:
         assert equivalence.find_counterexample(reference) is None
         assert equivalence.statistics.tests_skipped > 0
         assert equivalence.statistics.test_words == 5
+
+    def test_truncation_accounting_is_exact_and_accumulates(self):
+        reference = make_policy("MRU", 4).to_mealy().minimize()
+        suite_size = len(wp_method_suite(reference, 1))
+        cap = 7
+        assert suite_size > cap
+        oracle = MealyMachineOracle(reference)
+        equivalence = ConformanceEquivalenceOracle(oracle, depth=1, max_tests=cap)
+        assert equivalence.find_counterexample(reference) is None
+        assert equivalence.statistics.tests_skipped == suite_size - cap
+        assert equivalence.statistics.test_words == cap
+        # A second equivalence query accumulates instead of resetting.
+        assert equivalence.find_counterexample(reference) is None
+        assert equivalence.statistics.tests_skipped == 2 * (suite_size - cap)
+        assert equivalence.statistics.test_words == 2 * cap
+        assert oracle.statistics.membership_queries > 0
+
+    def test_no_truncation_when_cap_exceeds_suite(self):
+        reference = make_policy("LRU", 2).to_mealy().minimize()
+        suite_size = len(wp_method_suite(reference, 1))
+        equivalence = ConformanceEquivalenceOracle(
+            MealyMachineOracle(reference), depth=1, max_tests=suite_size
+        )
+        assert equivalence.find_counterexample(reference) is None
+        assert equivalence.statistics.tests_skipped == 0
+        assert equivalence.statistics.test_words == suite_size
 
     def test_learning_result_surfaces_truncation(self):
         reference = make_policy("LRU", 2).to_mealy().minimize()
