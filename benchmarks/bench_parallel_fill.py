@@ -1,0 +1,180 @@
+"""End-to-end parallel learning vs. the serial path (fill + streamed suites).
+
+The acceptance experiment of the parallel-fill PR: learn policies from
+their software-simulated caches through the full Polca + L* + Wp-method
+pipeline twice — serially and with ``workers=2``, where **both** the
+observation-table fill and the (now lazily streamed) conformance suite run
+on one shared process pool — and compare:
+
+* the **learned machines**, which must be bit-identical (the pool changes
+  where words execute, never what is learned);
+* the **wall clock** of the two runs;
+* the **streaming bound**: ``peak_inflight_words`` (the most suite words
+  the parent ever queued, capped at ``max_inflight × batch_size`` = 256
+  with the defaults) against the size of the final hypothesis' Wp-suite —
+  at depth 2 on PLRU-8 the suite is ~350k words the parent used to
+  materialise before the first chunk shipped; and
+* the **per-worker executed-query counts**, covering fill and suite work
+  alike (one accounting for the whole run).
+
+On a single-core host the parallel run cannot be faster — the benchmark
+still verifies machine identity, the streaming bound and the worker
+accounting, and reports the observed ratio either way.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_fill.py [--full]
+
+or through pytest (the PLRU-8 run takes minutes and is marked slow)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_parallel_fill.py -m slow
+"""
+
+import os
+import sys
+import time
+
+import pytest
+
+from repro.learning.wpmethod import iter_wp_method_suite
+from repro.polca.pipeline import learn_simulated_policy
+from repro.policies.registry import make_policy
+
+#: (policy, associativity, conformance depth) exercised by the benchmark.
+CONFIGURATIONS = [
+    ("SRRIP-HP", 2, 2),
+    ("PLRU", 8, 2),
+]
+
+#: Added by --full: the 178-state SRRIP machine (tens of minutes serially).
+FULL_CONFIGURATIONS = [
+    ("SRRIP-HP", 4, 2),
+]
+
+WORKERS = 2
+
+#: The defaults of ConformanceEquivalenceOracle: the parent's queued-word
+#: bound is max_inflight * batch_size.
+INFLIGHT_BOUND = 4 * 64
+
+
+def run_configuration(policy_name, associativity, depth, workers=None):
+    """Learn one configuration; return the report plus its wall clock."""
+    policy = make_policy(policy_name, associativity)
+    start = time.perf_counter()
+    report = learn_simulated_policy(
+        policy, depth=depth, identify=False, workers=workers
+    )
+    seconds = time.perf_counter() - start
+    return report, seconds
+
+
+def compare_paths(policy_name, associativity, depth):
+    """Run serial and parallel; assert identical machines; return metrics."""
+    serial, serial_seconds = run_configuration(policy_name, associativity, depth)
+    parallel, parallel_seconds = run_configuration(
+        policy_name, associativity, depth, workers=WORKERS
+    )
+    assert parallel.machine == serial.machine, (
+        f"{policy_name}-{associativity}: parallel run learned a different machine!"
+    )
+    # Size of the *final* round's suite: what the parent used to materialise
+    # up front and now only ever streams through the in-flight window.
+    final_suite_words = sum(1 for _ in iter_wp_method_suite(serial.machine, depth))
+    return {
+        "policy": f"{policy_name}-{associativity}",
+        "depth": depth,
+        "states": serial.num_states,
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": serial_seconds / max(1e-9, parallel_seconds),
+        "final_suite_words": final_suite_words,
+        "peak_inflight_words": parallel.extra["peak_inflight_words"],
+        "parallel_words": parallel.extra["parallel_words"],
+        "parallel_chunks": parallel.extra["parallel_chunks"],
+        "worker_query_counts": parallel.extra["worker_query_counts"],
+        "worker_symbol_counts": parallel.extra["worker_symbol_counts"],
+    }
+
+
+def report_metrics(metrics):
+    workers = ", ".join(
+        f"pid {pid}: {queries} queries"
+        for pid, queries in sorted(metrics["worker_query_counts"].items())
+    )
+    print(
+        f"{metrics['policy']:>12} depth {metrics['depth']}: "
+        f"{metrics['states']} states, "
+        f"serial {metrics['serial_seconds']:.1f} s, "
+        f"parallel({WORKERS}) {metrics['parallel_seconds']:.1f} s "
+        f"(x{metrics['speedup']:.2f}), "
+        f"peak queued {metrics['peak_inflight_words']} of "
+        f"{metrics['final_suite_words']}-word final suite, "
+        f"{metrics['parallel_words']} words in {metrics['parallel_chunks']} chunks "
+        f"[{workers}]"
+    )
+
+
+def assert_streaming_bound(metrics):
+    """The parent must never have queued more than the in-flight window."""
+    assert 0 < metrics["peak_inflight_words"] <= INFLIGHT_BOUND
+    assert metrics["peak_inflight_words"] < metrics["final_suite_words"]
+
+
+# --------------------------------------------------------------------- pytest
+
+
+def test_parallel_fill_smoke_identical_machines():
+    """Cheap configuration: identical machines, streaming bound, worker traffic."""
+    metrics = compare_paths("SRRIP-HP", 2, 2)
+    assert metrics["parallel_words"] > 0
+    assert sum(metrics["worker_query_counts"].values()) > 0
+    assert_streaming_bound(metrics)
+
+
+@pytest.mark.slow
+def test_parallel_fill_plru8_depth2():
+    """The acceptance configuration: PLRU-8 at depth 2 (minutes of compute).
+
+    The final suite is ~350k words; the parent must bound its queue by the
+    in-flight window instead of materialising it.
+    """
+    metrics = compare_paths("PLRU", 8, 2)
+    assert metrics["states"] == 128
+    assert metrics["final_suite_words"] > 100_000
+    assert metrics["parallel_words"] > 0
+    assert sum(metrics["worker_query_counts"].values()) > 0
+    assert_streaming_bound(metrics)
+    if (os.cpu_count() or 1) > 1:
+        # With real cores available the query-dominated run must win.
+        assert metrics["speedup"] > 1.0, (
+            f"no speedup on a {os.cpu_count()}-core host: "
+            f"{metrics['serial_seconds']:.1f}s serial vs "
+            f"{metrics['parallel_seconds']:.1f}s parallel"
+        )
+
+
+# ----------------------------------------------------------------- standalone
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    configurations = list(CONFIGURATIONS)
+    if "--full" in argv:
+        configurations += FULL_CONFIGURATIONS
+    print(
+        f"== Process-parallel table fill + streamed Wp-suites ({WORKERS} workers, "
+        f"{os.cpu_count()} cores) =="
+    )
+    for policy_name, associativity, depth in configurations:
+        metrics = compare_paths(policy_name, associativity, depth)
+        assert_streaming_bound(metrics)
+        report_metrics(metrics)
+    print(
+        "\nAll learned machines bit-identical across serial and parallel runs; "
+        "parent queue bounded by the in-flight window. OK"
+    )
+
+
+if __name__ == "__main__":
+    main()

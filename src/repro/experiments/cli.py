@@ -105,7 +105,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         type=int,
         default=None,
         metavar="N",
-        help="run conformance testing on a pool of N worker processes "
+        help="run the whole learning loop (table fill + conformance testing) "
+        "on a pool of N worker processes "
         "(table2/table4; learned machines are identical to serial runs)",
     )
     parser.add_argument(

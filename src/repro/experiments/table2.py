@@ -130,8 +130,9 @@ def run_table2(
 ) -> List[Table2Row]:
     """Learn every configured policy from its software-simulated cache.
 
-    ``workers=N`` (N > 1) runs each configuration's conformance testing on
-    a process pool; the learned machines are bit-identical to serial runs
+    ``workers=N`` (N > 1) runs each configuration's whole learning run —
+    observation-table fill *and* conformance testing — on one shared
+    process pool; the learned machines are bit-identical to serial runs
     (see :mod:`repro.learning.parallel`).
     """
     if configurations is None:

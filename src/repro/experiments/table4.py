@@ -248,8 +248,9 @@ def run_table4_configuration(
         ]
     start = time.perf_counter()
     # The CacheQuery interface wraps a whole (picklable) simulated CPU, so
-    # pool workers receive a snapshot and replay suite chunks against their
-    # own copy — the hardware-path analogue of rebuilding a simulator.
+    # pool workers receive a snapshot and replay table-fill batches and
+    # suite chunks against their own copy — the hardware-path analogue of
+    # rebuilding a simulator.
     report = learn_policy_from_cache(
         interface, depth=depth, identification_candidates=candidates, workers=workers
     )

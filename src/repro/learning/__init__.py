@@ -13,18 +13,22 @@ conformance tester stage whole rounds of words, and the
 prefix-subsumes and caches them in a response trie before anything reaches
 the system under learning.
 
-Conformance testing additionally scales across processes
-(:mod:`repro.learning.parallel`): with ``workers=N`` the
-:class:`~repro.learning.equivalence.ConformanceEquivalenceOracle` ships
-suite chunks to a process pool whose workers rebuild the system under test
-from a picklable oracle factory; answers merge back through the shared
-trie, keeping learned machines bit-identical to serial runs.
+Both query sides additionally scale across processes
+(:mod:`repro.learning.parallel`): with ``workers=N`` a shared
+:class:`~repro.learning.parallel.WorkerPool` answers the observation
+table's round batches *and* the
+:class:`~repro.learning.equivalence.ConformanceEquivalenceOracle`'s
+lazily streamed Wp-suite chunks (bounded in-flight window); workers
+rebuild the system under test from a picklable oracle factory and answers
+merge back through the shared trie in deterministic order, keeping learned
+machines bit-identical to serial runs.
 """
 
 from repro.learning.query_engine import (
     ResponseTrie,
     dedupe_and_subsume,
     output_query_batch,
+    partition_batch,
     supports_batching,
     supports_resume,
 )
@@ -43,6 +47,8 @@ from repro.learning.counterexample import (
 )
 from repro.learning.wpmethod import (
     characterization_set,
+    iter_w_method_suite,
+    iter_wp_method_suite,
     state_cover,
     transition_cover,
     w_method_suite,
@@ -54,6 +60,7 @@ from repro.learning.parallel import (
     MealyMachineOracleFactory,
     OracleFactory,
     SimulatedPolicyOracleFactory,
+    WorkerPool,
     oracle_factory_for_cache,
 )
 from repro.learning.equivalence import (
@@ -68,6 +75,7 @@ __all__ = [
     "ResponseTrie",
     "dedupe_and_subsume",
     "output_query_batch",
+    "partition_batch",
     "supports_batching",
     "supports_resume",
     "CachedMembershipOracle",
@@ -80,6 +88,8 @@ __all__ = [
     "process_counterexample_prefixes",
     "process_counterexample_rivest_schapire",
     "characterization_set",
+    "iter_w_method_suite",
+    "iter_wp_method_suite",
     "state_cover",
     "transition_cover",
     "w_method_suite",
@@ -89,6 +99,7 @@ __all__ = [
     "MealyMachineOracleFactory",
     "OracleFactory",
     "SimulatedPolicyOracleFactory",
+    "WorkerPool",
     "oracle_factory_for_cache",
     "ConformanceEquivalenceOracle",
     "EquivalenceOracle",

@@ -16,25 +16,42 @@ Three implementations are provided:
 
 from __future__ import annotations
 
-import multiprocessing
 import random
-from concurrent.futures import Executor, Future, ProcessPoolExecutor
-from typing import Dict, Hashable, List, Optional, Protocol, Sequence, Tuple
+import warnings
+from collections import deque
+from concurrent.futures import Executor, Future
+from itertools import islice
+from typing import (
+    Deque,
+    Dict,
+    Hashable,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+)
 
 from repro.core.mealy import MealyMachine
-from repro.errors import LearningError, OutputLengthMismatchError
+from repro.errors import LearningError
 from repro.learning.oracles import MembershipOracle, QueryStatistics
-from repro.learning.parallel import (
-    OracleFactory,
-    answer_words_in_worker,
-    initialize_worker,
-)
+from repro.learning.parallel import OracleFactory, WorkerPool
 from repro.learning.query_engine import output_query_batch
-from repro.learning.wpmethod import w_method_suite, wp_method_suite
+from repro.learning.wpmethod import iter_w_method_suite, iter_wp_method_suite
 
 Input = Hashable
 Word = Tuple[Input, ...]
 OutputWord = Tuple[Hashable, ...]
+
+
+def _chunks(words: Iterator[Word], size: int) -> Iterator[List[Word]]:
+    """Yield successive ``size``-word lists from a (lazy) word stream."""
+    while True:
+        chunk = list(islice(words, size))
+        if not chunk:
+            return
+        yield chunk
 
 
 class EquivalenceOracle(Protocol):
@@ -48,13 +65,17 @@ class EquivalenceOracle(Protocol):
 class ConformanceEquivalenceOracle:
     """Wp-/W-method conformance testing against a membership oracle.
 
-    The suite is executed in batches of ``batch_size`` words, each answered
+    The suite is **streamed**: :func:`~repro.learning.wpmethod.\
+iter_wp_method_suite` generates test words lazily and the oracle consumes
+    them in batches of ``batch_size`` words, so the parent process never
+    materialises the full suite (at depth ≥ 2 PLRU-8's suite is ~350k
+    words) before the first chunk executes.  Each batch is answered
     through the batched-oracle protocol so duplicate and prefix-subsumed
     test words never reach the system under learning twice.  For
     simulator-backed oracles whose ``output_query`` is safe to call
     concurrently (e.g. :class:`~repro.learning.oracles.MealyMachineOracle`),
     an optional :class:`concurrent.futures.Executor` fans a batch out over
-    workers; stateful oracles (Polca over one cache set) must keep the
+    threads; stateful oracles (Polca over one cache set) must keep the
     default serial execution.
 
     When ``max_tests`` truncates the suite, the dropped words are counted in
@@ -67,20 +88,26 @@ class ConformanceEquivalenceOracle:
     --------------------------
 
     With ``workers=N`` (N > 1) and a picklable ``oracle_factory`` (see
-    :mod:`repro.learning.parallel`), suite chunks are shipped to a
-    :class:`~concurrent.futures.ProcessPoolExecutor` whose workers each
-    rebuild a fresh system under test from the factory.  Chunks are
-    submitted eagerly but consumed *in suite order*, so the returned
-    counterexample is always the first mismatching word — identical to a
-    serial run, which keeps learned machines bit-identical across worker
-    counts.  Worker answers are merged back into the shared
+    :mod:`repro.learning.parallel`) — or a shared
+    :class:`~repro.learning.parallel.WorkerPool` via ``pool=`` — suite
+    chunks are shipped to a process pool whose workers each rebuild a fresh
+    system under test from the factory.  At most ``max_inflight`` chunks
+    are in flight at once (a bounded window over the lazy suite: the
+    parent holds no more than ``max_inflight × batch_size`` queued words,
+    tracked in :attr:`peak_inflight_words`), and chunks are consumed *in
+    suite order*, so the returned counterexample is always the first
+    mismatching word — identical to a serial run, which keeps learned
+    machines bit-identical across worker counts.  Worker answers are
+    merged back into the shared
     :class:`~repro.learning.oracles.CachedMembershipOracle` trie when the
     oracle is one, so they feed the learner's cache and still trip
     non-determinism detection; words the shared trie already knows are
-    never shipped.  Per-worker executed-query counts are accumulated in
-    ``worker_query_counts`` / ``worker_symbol_counts`` (keyed by worker
-    PID).  Call :meth:`close` (or use the oracle as a context manager) to
-    shut the pool down.
+    never shipped.  Per-worker executed-query counts accumulate on the
+    pool's ``worker_query_counts`` / ``worker_symbol_counts`` (keyed by
+    worker PID) — shared with the observation-table fill when the pool is.
+    Call :meth:`close` (or use the oracle as a context manager) to shut an
+    *owned* pool down; a pool passed in via ``pool=`` belongs to the
+    caller and is left running.
     """
 
     def __init__(
@@ -95,14 +122,29 @@ class ConformanceEquivalenceOracle:
         workers: Optional[int] = None,
         oracle_factory: Optional[OracleFactory] = None,
         start_method: Optional[str] = None,
+        pool: Optional[WorkerPool] = None,
+        max_inflight: int = 4,
     ) -> None:
         if method not in ("w", "wp"):
             raise ValueError(f"method must be 'w' or 'wp', got {method!r}")
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
-        if workers is not None and workers > 1:
+        if pool is not None:
+            if workers is not None or oracle_factory is not None:
+                raise LearningError(
+                    "pass either a shared pool or workers/oracle_factory, not both"
+                )
+            if executor is not None:
+                raise LearningError(
+                    "pass either a thread executor or a worker pool, not both"
+                )
+            workers = pool.workers
+            oracle_factory = pool.oracle_factory
+        elif workers is not None and workers > 1:
             if oracle_factory is None:
                 raise LearningError(
                     "workers > 1 needs an oracle_factory so pool workers can "
@@ -121,39 +163,52 @@ class ConformanceEquivalenceOracle:
         self.workers = workers
         self.oracle_factory = oracle_factory
         self.start_method = start_method
+        self.max_inflight = max_inflight
         self.statistics = QueryStatistics()
-        #: Executed queries per pool worker, keyed by worker PID.
-        self.worker_query_counts: Dict[int, int] = {}
-        #: Executed symbols per pool worker, keyed by worker PID.
-        self.worker_symbol_counts: Dict[int, int] = {}
-        self._pool: Optional[ProcessPoolExecutor] = None
+        #: Peak number of suite words queued in the parent at once (parallel
+        #: path): bounded by ``max_inflight * batch_size`` by construction.
+        self.peak_inflight_words = 0
+        self._shared_pool = pool
+        self._pool: Optional[WorkerPool] = None  # owned pool, created lazily
 
     # -------------------------------------------------------- pool lifecycle
 
     @property
     def _parallel(self) -> bool:
+        if self._shared_pool is not None:
+            return self._shared_pool.parallel
         return self.workers is not None and self.workers > 1
 
-    def _ensure_pool(self) -> ProcessPoolExecutor:
+    def _active_pool(self) -> WorkerPool:
+        if self._shared_pool is not None:
+            return self._shared_pool
         if self._pool is None:
-            context = (
-                multiprocessing.get_context(self.start_method)
-                if self.start_method is not None
-                else None
-            )
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.workers,
-                mp_context=context,
-                initializer=initialize_worker,
-                initargs=(self.oracle_factory,),
+            self._pool = WorkerPool(
+                self.oracle_factory, self.workers, start_method=self.start_method
             )
         return self._pool
 
+    @property
+    def worker_query_counts(self) -> Dict[int, int]:
+        """Executed queries per pool worker (shared with the fill when the pool is)."""
+        pool = self._shared_pool or self._pool
+        return pool.worker_query_counts if pool is not None else {}
+
+    @property
+    def worker_symbol_counts(self) -> Dict[int, int]:
+        """Executed symbols per pool worker (shared with the fill when the pool is)."""
+        pool = self._shared_pool or self._pool
+        return pool.worker_symbol_counts if pool is not None else {}
+
     def close(self) -> None:
-        """Shut down the worker pool (idempotent; a no-op for serial oracles)."""
+        """Shut down an *owned* worker pool (idempotent; shared pools stay up).
+
+        The pool object is kept so its per-worker accounting stays readable
+        after the run; only its executor is torn down (and lazily recreated
+        if the oracle is used again).
+        """
         if self._pool is not None:
-            self._pool.shutdown(wait=True, cancel_futures=True)
-            self._pool = None
+            self._pool.close()
 
     def __enter__(self) -> "ConformanceEquivalenceOracle":
         return self
@@ -163,16 +218,39 @@ class ConformanceEquivalenceOracle:
 
     # -------------------------------------------------------------- the suite
 
-    def _suite(self, hypothesis: MealyMachine):
-        generate = w_method_suite if self.method == "w" else wp_method_suite
+    def _suite(self, hypothesis: MealyMachine) -> Iterator[Word]:
+        generate = iter_w_method_suite if self.method == "w" else iter_wp_method_suite
         try:
             return generate(hypothesis, self.depth)
         except LearningError:
-            # The W-set construction requires a minimal machine; observation
-            # tables occasionally hand over hypotheses with equivalent rows
-            # (seen with deep suites on BRRIP).  The minimized machine is
-            # trace-equivalent, so its suite tests the same behaviours.
+            # The W-set construction requires a minimal machine.  Since the
+            # observation table keeps its suffix set suffix-closed, its
+            # hypotheses are minimal by construction and this fallback
+            # should be unreachable from the learner — keep it as a guarded
+            # safety net for hand-built hypotheses, but make it loud.
+            warnings.warn(
+                "conformance suite requested for a non-minimal hypothesis; "
+                "falling back to the minimized machine (suffix-closed "
+                "observation tables should never produce one)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
             return generate(hypothesis.minimize(), self.depth)
+
+    def _truncated(self, suite: Iterator[Word]) -> Iterator[Word]:
+        """Yield the first ``max_tests`` words; count the rest as skipped.
+
+        Draining the generator to count the dropped words costs generation
+        time but no executions — the exact ``tests_skipped`` accounting is
+        what voids (or certifies) the Corollary 3.4 guarantee.
+        """
+        yielded = 0
+        for word in suite:
+            if yielded < self.max_tests:
+                yielded += 1
+                yield word
+            else:
+                self.statistics.tests_skipped += 1
 
     def _answer_chunk(self, chunk: Sequence[Word]) -> List[Tuple]:
         if self.executor is not None:
@@ -181,35 +259,59 @@ class ConformanceEquivalenceOracle:
 
     def find_counterexample(self, hypothesis: MealyMachine) -> Optional[Word]:
         self.statistics.equivalence_queries += 1
-        suite = self._suite(hypothesis)
-        if self.max_tests is not None and len(suite) > self.max_tests:
-            self.statistics.tests_skipped += len(suite) - self.max_tests
-            suite = suite[: self.max_tests]
+        suite: Iterator[Word] = iter(self._suite(hypothesis))
+        if self.max_tests is not None:
+            suite = self._truncated(suite)
         if self._parallel:
             return self._find_counterexample_parallel(hypothesis, suite)
-        for start in range(0, len(suite), self.batch_size):
-            chunk = suite[start : start + self.batch_size]
+        for chunk in _chunks(suite, self.batch_size):
             self.statistics.test_words += len(chunk)
             actuals = self._answer_chunk(chunk)
             for word, actual in zip(chunk, actuals):
                 if actual != hypothesis.run(word):
+                    # Finish the truncation accounting: the generator is
+                    # abandoned mid-stream, but words beyond the cap were
+                    # never going to run regardless of this counterexample.
+                    if self.max_tests is not None:
+                        for _ in suite:
+                            pass
                     return word
         return None
 
     # --------------------------------------------------------- parallel path
 
     def _find_counterexample_parallel(
-        self, hypothesis: MealyMachine, suite: Sequence[Word]
+        self, hypothesis: MealyMachine, suite: Iterator[Word]
     ) -> Optional[Word]:
-        pool = self._ensure_pool()
+        pool = self._active_pool()
         cached_answer = getattr(self.oracle, "cached_answer", None)
         record_external = getattr(self.oracle, "record_external", None)
-        # Ship each chunk's un-cached, not-yet-assigned words; duplicates
-        # across chunks ride with the first chunk that contains them.
-        chunks: List[Tuple[List[Word], List[Word], Optional[Future]]] = []
+        # Worker executions are real queries against the system under
+        # learning: fold them into the membership oracle's statistics so
+        # query counts stay comparable across worker counts (a serial run
+        # executes the same missing words through the same oracle).
+        oracle_statistics = getattr(self.oracle, "statistics", None)
+        # A bounded window of in-flight chunks over the lazy suite: chunks
+        # are submitted as the generator produces them and consumed in
+        # suite order, so the first mismatching word wins deterministically
+        # while the parent queues at most max_inflight * batch_size words.
+        pending: Deque[Tuple[List[Word], List[Word], Optional[Future]]] = deque()
         assigned: set = set()
-        for start in range(0, len(suite), self.batch_size):
-            chunk = [tuple(word) for word in suite[start : start + self.batch_size]]
+        inflight_words = 0
+        # Answers for worker-executed words when there is no shared trie to
+        # merge them into (duplicates across chunks ride with the first
+        # chunk that contains them, so later chunks may need them again).
+        answers: Optional[Dict[Word, OutputWord]] = (
+            None if record_external is not None else {}
+        )
+        exhausted = False
+
+        def submit_next() -> bool:
+            """Pull one more chunk from the suite and ship its missing words."""
+            nonlocal inflight_words
+            chunk = [tuple(word) for word in islice(suite, self.batch_size)]
+            if not chunk:
+                return False
             missing: List[Word] = []
             for word in chunk:
                 if word in assigned:
@@ -218,42 +320,59 @@ class ConformanceEquivalenceOracle:
                     continue
                 assigned.add(word)
                 missing.append(word)
-            future = pool.submit(answer_words_in_worker, missing) if missing else None
-            chunks.append((chunk, missing, future))
-        answers: Dict[Word, OutputWord] = {}
-        for index, (chunk, missing, future) in enumerate(chunks):
+            future = pool.submit(missing) if missing else None
+            pending.append((chunk, missing, future))
+            inflight_words += len(chunk)
+            self.peak_inflight_words = max(self.peak_inflight_words, inflight_words)
+            return True
+
+        while True:
+            while not exhausted and len(pending) < self.max_inflight:
+                if not submit_next():
+                    exhausted = True
+            if not pending:
+                return None
+            chunk, missing, future = pending.popleft()
+            inflight_words -= len(chunk)
             self.statistics.test_words += len(chunk)
+            chunk_answers: Dict[Word, OutputWord] = {}
             if future is not None:
-                worker_id, worker_answers, queries, symbols = future.result()
+                worker_answers = pool.collect(
+                    future, missing, statistics=oracle_statistics
+                )
                 self.statistics.parallel_chunks += 1
                 self.statistics.parallel_words += len(missing)
-                self.worker_query_counts[worker_id] = (
-                    self.worker_query_counts.get(worker_id, 0) + queries
-                )
-                self.worker_symbol_counts[worker_id] = (
-                    self.worker_symbol_counts.get(worker_id, 0) + symbols
-                )
                 for word, outputs in zip(missing, worker_answers):
-                    outputs = tuple(outputs)
-                    if len(outputs) != len(word):
-                        raise OutputLengthMismatchError(word, outputs)
                     if record_external is not None:
                         # Feed the shared trie; raises NonDeterminismError
                         # when a worker disagrees with a cached prefix.
                         record_external(word, outputs)
-                    answers[word] = outputs
+                        chunk_answers[word] = outputs
+                        # The trie now answers this word, so the
+                        # cached_answer check dedupes later chunks —
+                        # pruning keeps `assigned` bounded by the in-flight
+                        # window instead of growing with the suite.
+                        assigned.discard(word)
+                    else:
+                        answers[word] = outputs
             for word in chunk:
-                actual = answers.get(word)
+                actual = (answers if answers is not None else chunk_answers).get(word)
                 if actual is None:
-                    # Cached before this call (or merged via the trie by an
-                    # earlier chunk): a guaranteed hit on the shared cache.
+                    # Cached before this call, or merged into the shared trie
+                    # by an earlier chunk: a guaranteed hit on the shared
+                    # cache, counted as a cache hit exactly like a serial
+                    # run counts its already-cached suite words.
                     actual = tuple(self.oracle.output_query(word))
                 if actual != hypothesis.run(word):
-                    for _, _, later in chunks[index + 1 :]:
+                    for _, _, later in pending:
                         if later is not None:
                             later.cancel()
+                    # Keep the truncation accounting identical to a serial
+                    # run that found the same counterexample.
+                    if self.max_tests is not None:
+                        for _ in suite:
+                            pass
                     return word
-        return None
 
 
 class RandomWalkEquivalenceOracle:

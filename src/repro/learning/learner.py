@@ -31,6 +31,7 @@ from repro.learning.oracles import (
     MembershipOracle,
     QueryStatistics,
 )
+from repro.learning.parallel import OracleFactory, WorkerPool
 
 Input = Hashable
 Word = Tuple[Input, ...]
@@ -76,6 +77,16 @@ class MealyLearner:
     (``cache_backend="dict"``).  An oracle that is already one of the two
     cache types is used as-is, which lets callers share one engine between
     the learner and the equivalence oracle.
+
+    With ``workers=N`` (N > 1) and a picklable ``oracle_factory`` — or an
+    existing :class:`~repro.learning.parallel.WorkerPool` via ``pool=`` —
+    the observation-table fill answers each stabilisation round's batch
+    across worker processes; answers merge back through the shared query
+    engine in chunk-index order, so parallel runs learn machines
+    bit-identical to serial ones.  An owned pool (built from ``workers=``)
+    is shut down when :meth:`learn` returns; a shared pool stays up for
+    its owner (typically the pipeline, which hands the same pool to the
+    conformance tester so one flag parallelizes the whole run).
     """
 
     def __init__(
@@ -88,6 +99,10 @@ class MealyLearner:
         max_rounds: int = 10_000,
         cache_queries: bool = True,
         cache_backend: str = "trie",
+        workers: Optional[int] = None,
+        oracle_factory: Optional[OracleFactory] = None,
+        pool: Optional[WorkerPool] = None,
+        fill_chunk_size: int = 64,
     ) -> None:
         if counterexample_strategy not in ("rivest-schapire", "prefixes"):
             raise LearningError(
@@ -96,6 +111,10 @@ class MealyLearner:
         if cache_backend not in CACHE_BACKENDS:
             raise LearningError(
                 f"unknown cache backend {cache_backend!r}; expected one of {CACHE_BACKENDS}"
+            )
+        if pool is not None and (workers is not None or oracle_factory is not None):
+            raise LearningError(
+                "pass either a shared pool or workers/oracle_factory, not both"
             )
         self.alphabet = tuple(alphabet)
         if not cache_queries or isinstance(
@@ -109,6 +128,15 @@ class MealyLearner:
         self.equivalence_oracle = equivalence_oracle
         self.counterexample_strategy = counterexample_strategy
         self.max_rounds = max_rounds
+        self.fill_chunk_size = fill_chunk_size
+        self._owns_pool = False
+        self.pool = pool
+        if pool is None and workers is not None and workers > 1:
+            # WorkerPool validates workers >= 1 and the factory requirement.
+            self.pool = WorkerPool(oracle_factory, workers)
+            self._owns_pool = True
+        elif workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
 
     def _refine(self, table: ObservationTable, hypothesis: MealyMachine, counterexample: Word) -> None:
         if self.counterexample_strategy == "prefixes":
@@ -125,8 +153,20 @@ class MealyLearner:
 
     def learn(self) -> LearningResult:
         """Run the learning loop until the equivalence oracle is satisfied."""
+        try:
+            return self._learn()
+        finally:
+            if self._owns_pool and self.pool is not None:
+                self.pool.close()
+
+    def _learn(self) -> LearningResult:
         start = time.perf_counter()
-        table = ObservationTable(self.alphabet, self.membership_oracle)
+        table = ObservationTable(
+            self.alphabet,
+            self.membership_oracle,
+            pool=self.pool,
+            chunk_size=self.fill_chunk_size,
+        )
         counterexamples: List[Word] = []
 
         table.make_closed_and_consistent()

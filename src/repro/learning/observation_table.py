@@ -13,16 +13,37 @@ system; the table is *closed* when every long row equals some short row, and
 *consistent* when equal short rows stay equal under every one-symbol
 extension.  A closed and consistent table induces a hypothesis Mealy machine
 (:meth:`ObservationTable.hypothesis`).
+
+Suffix-closedness of ``E``
+--------------------------
+
+The classic minimality argument — a closed, consistent table induces a
+hypothesis whose behaviour from state ``row(u)`` on any suffix ``e ∈ E``
+equals the observed cell ``T[u][e]``, so distinct rows are inequivalent
+states — holds only when ``E`` is *suffix-closed* (the inductive step peels
+one symbol off ``e`` and needs the tail to be a column too).  The
+single-symbol initial columns are trivially closed and the inconsistency
+repair prepends a symbol to an existing column, but Rivest–Schapire
+counterexample processing adds one *arbitrary* distinguishing suffix; a
+lone suffix whose tails are missing silently broke the argument and
+produced hypotheses with equivalent states on deep BRRIP runs (the
+non-minimal-hypothesis ROADMAP item).  :meth:`ObservationTable.add_suffix`
+therefore restores the invariant by inserting every missing tail of a new
+suffix, and :meth:`ObservationTable.hypothesis` guards it with an
+assertion.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.core.mealy import MealyMachine
 from repro.errors import LearningError
 from repro.learning.oracles import MembershipOracle
 from repro.learning.query_engine import output_query_batch
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints only
+    from repro.learning.parallel import WorkerPool
 
 Input = Hashable
 Output = Hashable
@@ -39,13 +60,31 @@ class ObservationTable:
     stabilisation round, letting the oracle dedupe and prefix-subsume before
     a single word reaches the system under learning.  Row contents are
     memoised per prefix and invalidated when the suffix set changes.
+
+    With a parallel :class:`~repro.learning.parallel.WorkerPool` (``pool=``,
+    more than one worker), each round's deduped batch is split into
+    ``chunk_size`` chunks answered by worker processes and merged back in
+    chunk-index order — the membership side of learning runs on the same
+    pool as conformance testing, and the filled cells are bit-identical to
+    a serial fill.
     """
 
-    def __init__(self, alphabet: Sequence[Input], oracle: MembershipOracle) -> None:
+    def __init__(
+        self,
+        alphabet: Sequence[Input],
+        oracle: MembershipOracle,
+        *,
+        pool: Optional["WorkerPool"] = None,
+        chunk_size: int = 64,
+    ) -> None:
         if not alphabet:
             raise LearningError("the input alphabet must not be empty")
+        if chunk_size < 1:
+            raise LearningError(f"chunk_size must be >= 1, got {chunk_size}")
         self.alphabet: Tuple[Input, ...] = tuple(alphabet)
         self.oracle = oracle
+        self.pool = pool
+        self.chunk_size = chunk_size
         # Short prefixes (access words); prefix-closed, starts with epsilon.
         self.short_prefixes: List[Word] = [EMPTY]
         # Distinguishing suffixes; starts with every single input symbol so
@@ -89,13 +128,20 @@ class ObservationTable:
 
         All missing cells are collected and answered by a single batched
         query, so the oracle sees the whole round at once and can dedupe,
-        prefix-subsume and (for caches) reuse earlier answers.
+        prefix-subsume and (for caches) reuse earlier answers.  With a
+        parallel pool the batch fans out over worker processes instead
+        (deterministic chunk-index-order merge keeps the cells identical).
         """
         missing = self.missing_cells()
         if not missing:
             return
         words = [prefix + suffix for prefix, suffix in missing]
-        answers = output_query_batch(self.oracle, words)
+        if self.pool is not None and self.pool.parallel:
+            answers = self.pool.answer_batch(
+                self.oracle, words, chunk_size=self.chunk_size
+            )
+        else:
+            answers = output_query_batch(self.oracle, words)
         for (prefix, suffix), outputs in zip(missing, answers):
             self._cells[(prefix, suffix)] = tuple(outputs[len(prefix):])
 
@@ -159,17 +205,43 @@ class ObservationTable:
         return True
 
     def add_suffix(self, suffix: Word) -> bool:
-        """Add a distinguishing suffix (column)."""
+        """Add a distinguishing suffix (column), keeping ``E`` suffix-closed.
+
+        Every missing tail of ``suffix`` is added too (shortest first):
+        without them the correspondence between table rows and hypothesis
+        states breaks and a "consistent" table can emit hypotheses with
+        equivalent states.  Returns True when ``suffix`` itself was new —
+        the signal Rivest–Schapire processing uses to detect that its
+        distinguishing suffix brought no new column.
+        """
         suffix = tuple(suffix)
         if not suffix:
             raise LearningError("the empty suffix carries no information for Mealy machines")
-        if suffix in self.suffixes:
-            return False
-        self.suffixes.append(suffix)
-        # Row contents gained a column: every memoised row is stale.
-        self._row_cache.clear()
-        self.fill()
-        return True
+        added_full = False
+        added_any = False
+        for start in range(len(suffix) - 1, -1, -1):
+            tail = suffix[start:]
+            if tail in self.suffixes:
+                continue
+            self.suffixes.append(tail)
+            added_any = True
+            if tail == suffix:
+                added_full = True
+        if added_any:
+            # Row contents gained columns: every memoised row is stale.
+            self._row_cache.clear()
+            self.fill()
+        return added_full
+
+    def _assert_suffix_closed(self) -> None:
+        """Debug guard: every tail of every column must itself be a column."""
+        present = frozenset(self.suffixes)
+        for suffix in self.suffixes:
+            for start in range(1, len(suffix)):
+                assert suffix[start:] in present, (
+                    f"suffix set lost closure: {suffix[start:]!r} (tail of "
+                    f"{suffix!r}) is not a column — hypotheses may be non-minimal"
+                )
 
     def make_closed_and_consistent(self, *, max_rounds: int = 100_000) -> None:
         """Repeatedly repair closedness and consistency until both hold."""
@@ -188,7 +260,15 @@ class ObservationTable:
     # ------------------------------------------------------------- hypothesis
 
     def hypothesis(self) -> MealyMachine:
-        """Build the hypothesis Mealy machine from a closed, consistent table."""
+        """Build the hypothesis Mealy machine from a closed, consistent table.
+
+        With a suffix-closed column set (maintained by :meth:`add_suffix`)
+        the hypothesis is minimal: distinct rows differ on some column
+        ``e``, and the machine's behaviour from the corresponding states on
+        ``e`` reproduces the differing cells.
+        """
+        if __debug__:
+            self._assert_suffix_closed()
         row_to_state: Dict[Tuple, int] = {}
         state_access: List[Word] = []
         for prefix in self.short_prefixes:

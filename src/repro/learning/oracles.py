@@ -36,7 +36,7 @@ from repro.errors import NonDeterminismError, OutputLengthMismatchError
 from repro.learning.query_engine import (
     ResponseTrie,
     batch_via_single_queries,
-    dedupe_and_subsume,
+    partition_batch,
     supports_batching,
     supports_resume,
 )
@@ -77,6 +77,16 @@ class QueryStatistics:
         """Record one membership query of ``length`` symbols."""
         self.membership_queries += 1
         self.membership_symbols += length
+
+    def record_batch(self, total: int, already_cached: int, missing: int) -> None:
+        """Record one batch call partitioned by the cache (see
+        :func:`~repro.learning.query_engine.partition_batch`): ``total``
+        requested words, ``already_cached`` of them genuine cache hits, and
+        ``missing`` maximal words left to execute — the remainder was served
+        by intra-batch deduplication or prefix subsumption."""
+        self.batches += 1
+        self.cache_hits += already_cached
+        self.subsumed_words += total - already_cached - missing
 
     def merge(self, other: "QueryStatistics") -> "QueryStatistics":
         """Return a new statistics object summing both operands."""
@@ -228,17 +238,8 @@ class CachedMembershipOracle:
         prefix or miss — is answered from the trie.
         """
         words = [tuple(word) for word in words]
-        self.statistics.batches += 1
-        # Genuine cache hits: words fully answered by the trie as it stands
-        # *before* this batch executes anything.  Whatever else is answered
-        # without an execution was served by intra-batch dedup/subsumption.
-        already_cached = sum(1 for word in words if self._trie.lookup(word) is not None)
-        missing: List[Word] = []
-        for word in dedupe_and_subsume(words):
-            if self._trie.lookup(word) is None:
-                missing.append(word)
-        self.statistics.cache_hits += already_cached
-        self.statistics.subsumed_words += len(words) - already_cached - len(missing)
+        already_cached, _, missing = partition_batch(words, self._trie.lookup)
+        self.statistics.record_batch(len(words), already_cached, len(missing))
         if missing and supports_batching(self._delegate) and not self._resume:
             answered = self._delegate.output_query_batch(missing)
             for word, outputs in zip(missing, answered):

@@ -1,9 +1,12 @@
-"""Process-parallel conformance testing: oracle factories and pool workers.
+"""Process-parallel query execution: oracle factories, pool workers, and the
+shared :class:`WorkerPool`.
 
-Conformance testing dominates every simulator-backed learning run (the
-Wp-suite of Section 3.3 grows with ``|H|`` and exponentially with the test
-depth ``k``), and its test words are independent of each other — the
-classic embarrassingly parallel shape.  The missing piece for a
+Membership queries dominate every learning run the paper reports: the
+observation-table fill stages one batch of ``(prefix, suffix)`` words per
+stabilisation round, and conformance testing executes a Wp-suite that grows
+with ``|H|`` and exponentially with the test depth ``k``.  Both sides'
+words are independent of each other — the classic embarrassingly parallel
+shape.  The missing piece for a
 :class:`concurrent.futures.ProcessPoolExecutor` is that worker processes
 cannot share the live system under learning: a simulator oracle holds
 mutable state and (for the hardware path) a whole simulated CPU.
@@ -12,28 +15,43 @@ This module closes that gap with *oracle factories*: small picklable
 descriptions of how to rebuild a fresh membership oracle inside a worker
 process.  The pool is created with the factory as its initializer argument,
 so every worker builds its system under test exactly once and then answers
-suite chunks against it; answers travel back to the parent where
-:class:`~repro.learning.equivalence.ConformanceEquivalenceOracle` merges
-them into the shared :class:`~repro.learning.query_engine.ResponseTrie` —
+word chunks against it; answers travel back to the parent where they merge
+into the shared :class:`~repro.learning.query_engine.ResponseTrie` —
 parallel answers still feed the shared cache and still trip the
 non-determinism detection of Section 7.1.
 
+:class:`WorkerPool` bundles the executor, the factory and the per-worker
+accounting so **one** pool serves both oracle sides of a learning run: the
+observation table ships its round batches through
+:meth:`WorkerPool.answer_batch`, and
+:class:`~repro.learning.equivalence.ConformanceEquivalenceOracle` streams
+suite chunks through :meth:`WorkerPool.submit` / :meth:`WorkerPool.collect`
+with a bounded in-flight window.
+
 Because every factory rebuilds a *deterministic* system from the same
-description, a parallel run answers every suite word identically to a
-serial run, and the counterexamples (hence the learned machines) are
-bit-identical — the property ``tests/test_differential_learning.py``
-checks across the whole policy registry.
+description, a parallel run answers every word identically to a serial
+run; chunk results are always merged in chunk-index order, so the learned
+machines are bit-identical — the property
+``tests/test_differential_learning.py`` and ``tests/test_property_fuzz.py``
+check across the policy registry and generated instances.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import pickle
+from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Hashable, List, Protocol, Sequence, Tuple
+from typing import Callable, Dict, Hashable, List, Optional, Protocol, Sequence, Tuple
 
 from repro.core.mealy import MealyMachine
-from repro.errors import LearningError
+from repro.errors import LearningError, OutputLengthMismatchError
+from repro.learning.query_engine import (
+    ResponseTrie,
+    partition_batch,
+    serve_from_trie,
+)
 
 Input = Hashable
 Output = Hashable
@@ -224,3 +242,174 @@ def answer_words_in_worker(words: Sequence[Word]) -> Tuple[int, List[OutputWord]
         queries_after - queries_before,
         symbols_after - symbols_before,
     )
+
+
+# ------------------------------------------------------------- the shared pool
+
+
+class WorkerPool:
+    """A process pool shared by the membership and equivalence oracle sides.
+
+    The pool owns the :class:`~concurrent.futures.ProcessPoolExecutor`
+    (created lazily on first submit, with :func:`initialize_worker` building
+    each worker's oracle from ``oracle_factory``) and the per-worker
+    executed-query accounting, so one ``--workers N`` flag parallelizes a
+    whole learning run: the observation table answers its round batches via
+    :meth:`answer_batch`, the conformance tester streams suite chunks via
+    :meth:`submit`/:meth:`collect`, and both sides' counts land in the same
+    ``worker_query_counts`` / ``worker_symbol_counts`` dictionaries.
+
+    ``workers=1`` is a valid serial configuration: :attr:`parallel` is
+    False, no executor is ever created, and callers fall back to in-process
+    execution.  Call :meth:`close` (or use the pool as a context manager)
+    to shut the executor down.
+    """
+
+    def __init__(
+        self,
+        oracle_factory: Optional[OracleFactory],
+        workers: int,
+        *,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if workers > 1 and oracle_factory is None:
+            raise LearningError(
+                "workers > 1 needs an oracle_factory so pool workers can "
+                "rebuild the system under test (see repro.learning.parallel)"
+            )
+        self.oracle_factory = oracle_factory
+        self.workers = workers
+        self.start_method = start_method
+        #: Executed queries per pool worker, keyed by worker PID.
+        self.worker_query_counts: Dict[int, int] = {}
+        #: Executed symbols per pool worker, keyed by worker PID.
+        self.worker_symbol_counts: Dict[int, int] = {}
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    # ------------------------------------------------------------- lifecycle
+
+    @property
+    def parallel(self) -> bool:
+        """True when this pool actually fans out (more than one worker)."""
+        return self.workers > 1
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            context = (
+                multiprocessing.get_context(self.start_method)
+                if self.start_method is not None
+                else None
+            )
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=context,
+                initializer=initialize_worker,
+                initargs=(self.oracle_factory,),
+            )
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down the executor (idempotent; a no-op when never used)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ----------------------------------------------------------- chunk API
+
+    def submit(self, words: Sequence[Word]) -> Future:
+        """Ship one chunk of words to a pool worker; returns its future."""
+        return self._ensure_executor().submit(
+            answer_words_in_worker, [tuple(word) for word in words]
+        )
+
+    def collect(
+        self, future: Future, words: Sequence[Word], *, statistics=None
+    ) -> List[OutputWord]:
+        """Wait for a submitted chunk, record accounting, return its answers.
+
+        Callers collect futures **in submission order** so merges into the
+        shared trie stay deterministic regardless of which worker finished
+        first.  When ``statistics`` (a
+        :class:`~repro.learning.oracles.QueryStatistics`) is given, the
+        chunk's worker-side executed queries and symbols are folded into its
+        ``membership_queries`` / ``membership_symbols`` — they are real
+        executions against the system under learning, so reports (Table 2/4
+        query columns) stay comparable across worker counts.
+        """
+        worker_id, worker_answers, queries, symbols = future.result()
+        self.worker_query_counts[worker_id] = (
+            self.worker_query_counts.get(worker_id, 0) + queries
+        )
+        self.worker_symbol_counts[worker_id] = (
+            self.worker_symbol_counts.get(worker_id, 0) + symbols
+        )
+        if statistics is not None:
+            statistics.membership_queries += queries
+            statistics.membership_symbols += symbols
+        answers: List[OutputWord] = []
+        for word, outputs in zip(words, worker_answers):
+            outputs = tuple(outputs)
+            if len(outputs) != len(word):
+                raise OutputLengthMismatchError(word, outputs)
+            answers.append(outputs)
+        return answers
+
+    # ----------------------------------------------------------- batch API
+
+    def answer_batch(
+        self,
+        oracle,
+        words: Sequence[Word],
+        *,
+        chunk_size: int = 64,
+    ) -> List[OutputWord]:
+        """Answer one whole batch across the pool (the table-fill hot path).
+
+        The batch is deduplicated and prefix-subsumed exactly like the
+        serial engine, words the shared cache already knows are never
+        shipped, and the remaining maximal words are split into
+        ``chunk_size`` chunks answered by the workers.  Results are merged
+        **in chunk-index order** — through ``oracle.record_external`` when
+        the oracle is a shared :class:`~repro.learning.oracles.\
+CachedMembershipOracle`, so worker answers feed the learner's cache and
+        still trip non-determinism detection — and every requested word
+        (duplicate, prefix or miss) is served back in input order, making a
+        parallel fill bit-identical to a serial one.
+        """
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        words = [tuple(word) for word in words]
+        cached_answer = getattr(oracle, "cached_answer", None)
+        record_external = getattr(oracle, "record_external", None)
+        statistics = getattr(oracle, "statistics", None)
+        lookup = cached_answer if cached_answer is not None else lambda word: None
+        already_cached, cached, missing = partition_batch(words, lookup)
+        local = ResponseTrie()
+        for word, outputs in cached:
+            local.insert(word, outputs)
+        if statistics is not None:
+            # The same accounting a serial batch records, through the same
+            # partition — reports stay comparable across worker counts.
+            statistics.record_batch(len(words), already_cached, len(missing))
+        pending: List[Tuple[List[Word], Future]] = []
+        for start in range(0, len(missing), chunk_size):
+            chunk = missing[start : start + chunk_size]
+            pending.append((chunk, self.submit(chunk)))
+        for chunk, future in pending:  # chunk-index order: deterministic merges
+            chunk_answers = self.collect(future, chunk, statistics=statistics)
+            for word, outputs in zip(chunk, chunk_answers):
+                if record_external is not None:
+                    record_external(word, outputs)
+                local.insert(word, outputs)
+            if statistics is not None:
+                statistics.parallel_chunks += 1
+                statistics.parallel_words += len(chunk)
+        return serve_from_trie(words, local)

@@ -159,6 +159,32 @@ def dedupe_and_subsume(words: Sequence[Sequence[Input]]) -> List[Word]:
     return [word for word in unique if word not in proper_prefixes]
 
 
+def partition_batch(words: Sequence[Word], lookup):
+    """Partition a batch by what a cache can already answer.
+
+    ``lookup`` is a pure peek (``word -> outputs or None``).  Returns
+    ``(already_cached, cached, missing)``: ``already_cached`` counts the
+    batch's words (duplicates included) fully answered by the cache as it
+    stands *before* anything executes — the cache-hit count; ``cached`` is
+    the ``(word, outputs)`` pairs among the deduped, prefix-subsumed maximal
+    words the cache serves; ``missing`` the maximal words it cannot.  The
+    serial engine (:class:`~repro.learning.oracles.CachedMembershipOracle`)
+    and the parallel fill (:meth:`~repro.learning.parallel.WorkerPool.\
+answer_batch`) both partition through here, so their hit/subsumption
+    accounting can never drift apart.
+    """
+    already_cached = sum(1 for word in words if lookup(word) is not None)
+    cached: List[Tuple[Word, OutputWord]] = []
+    missing: List[Word] = []
+    for word in dedupe_and_subsume(words):
+        outputs = lookup(word)
+        if outputs is not None:
+            cached.append((word, outputs))
+        else:
+            missing.append(word)
+    return already_cached, cached, missing
+
+
 def supports_batching(oracle) -> bool:
     """True when ``oracle`` implements the batched-oracle protocol."""
     return callable(getattr(oracle, "output_query_batch", None))

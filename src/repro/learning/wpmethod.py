@@ -15,6 +15,27 @@ constructions are:
 
 Both constructions are provided; the equivalence oracle defaults to the
 Wp-method with depth ``k = 1`` as in the paper's experiments.
+
+Streaming
+---------
+
+At depth ≥ 2 the suites grow into the hundreds of thousands of words
+(PLRU-8: ~350k), and materialising them in the parent process used to take
+noticeable time before the first test word could be executed or shipped to
+a pool worker.  :func:`iter_w_method_suite` / :func:`iter_wp_method_suite`
+generate the **same words in the same order** lazily: the covers and
+characterization machinery are built eagerly (so a non-minimal machine
+still fails fast with :class:`~repro.errors.LearningError`), but the
+cross-product enumeration is a generator the conformance tester can drain
+chunk by chunk.  The list-returning :func:`w_method_suite` /
+:func:`wp_method_suite` are thin wrappers kept for callers that genuinely
+need the whole suite (suite-size accounting, tests).
+
+The only per-word state the generators keep is the deduplication set —
+O(distinct words) keys, unavoidable for exact parity with the materialised
+suites — but words are *yielded* one at a time, so execution overlaps
+generation and the parent's queued-word footprint is bounded by the
+consumer's in-flight window instead of the full suite.
 """
 
 from __future__ import annotations
@@ -144,31 +165,45 @@ def _middle_words(alphabet: Sequence[Input], depth: int) -> Iterator[Word]:
             yield word
 
 
-def w_method_suite(machine: MealyMachine, depth: int = 1) -> List[Word]:
-    """Return the W-method test suite ``P · Σ^{≤depth} · W`` (deduplicated)."""
+def iter_w_method_suite(machine: MealyMachine, depth: int = 1) -> Iterator[Word]:
+    """Yield the W-method suite ``P · Σ^{≤depth} · W`` lazily (deduplicated).
+
+    Validation and the cover/characterization constructions run eagerly —
+    a negative depth or a non-minimal machine raises before the first word
+    — but the cross-product enumeration is lazy, in exactly the order the
+    materialised :func:`w_method_suite` returns.
+    """
     if depth < 0:
         raise LearningError(f"depth must be >= 0, got {depth}")
     prefixes = transition_cover(machine)
     w_set = characterization_set(machine)
-    suite: List[Word] = []
-    seen: Set[Word] = set()
-    for prefix in prefixes:
-        for middle in _middle_words(machine.inputs, depth):
-            for suffix in w_set:
-                word = prefix + middle + suffix
-                if word and word not in seen:
-                    seen.add(word)
-                    suite.append(word)
-    return suite
+
+    def generate() -> Iterator[Word]:
+        seen: Set[Word] = set()
+        for prefix in prefixes:
+            for middle in _middle_words(machine.inputs, depth):
+                for suffix in w_set:
+                    word = prefix + middle + suffix
+                    if word and word not in seen:
+                        seen.add(word)
+                        yield word
+
+    return generate()
 
 
-def wp_method_suite(machine: MealyMachine, depth: int = 1) -> List[Word]:
-    """Return the Wp-method test suite for ``machine`` with the given depth.
+def w_method_suite(machine: MealyMachine, depth: int = 1) -> List[Word]:
+    """Return the W-method test suite ``P · Σ^{≤depth} · W`` (deduplicated)."""
+    return list(iter_w_method_suite(machine, depth))
+
+
+def iter_wp_method_suite(machine: MealyMachine, depth: int = 1) -> Iterator[Word]:
+    """Yield the Wp-method suite lazily, in the materialised suite's order.
 
     Phase 1 checks every state of the hypothesis with the full
     characterization set; phase 2 checks every transition (extended by up to
     ``depth`` extra symbols) with the identification set of the state it is
-    supposed to reach.
+    supposed to reach.  As with :func:`iter_w_method_suite`, validation and
+    the characterization machinery run eagerly; enumeration is lazy.
     """
     if depth < 0:
         raise LearningError(f"depth must be >= 0, got {depth}")
@@ -176,33 +211,40 @@ def wp_method_suite(machine: MealyMachine, depth: int = 1) -> List[Word]:
     w_set = characterization_set(machine)
     ident = identification_sets(machine)
 
-    suite: List[Word] = []
-    seen: Set[Word] = set()
+    def generate() -> Iterator[Word]:
+        seen: Set[Word] = set()
 
-    def add(word: Word) -> None:
-        if word and word not in seen:
-            seen.add(word)
-            suite.append(word)
-
-    # Phase 1: state cover x Sigma^{<=depth} x W.
-    for word in access.values():
-        for middle in _middle_words(machine.inputs, depth):
-            for suffix in w_set:
-                add(word + middle + suffix)
-
-    # Phase 2: transition cover x Sigma^{<=depth} x W_{target state}.
-    for state in machine.states:
-        base = access.get(state)
-        if base is None:
-            continue
-        for symbol in machine.inputs:
-            prefix = base + (symbol,)
+        # Phase 1: state cover x Sigma^{<=depth} x W.
+        for base in access.values():
             for middle in _middle_words(machine.inputs, depth):
-                word = prefix + middle
-                target = machine.state_after(word)
-                for suffix in ident[target]:
-                    add(word + suffix)
-    return suite
+                for suffix in w_set:
+                    word = base + middle + suffix
+                    if word and word not in seen:
+                        seen.add(word)
+                        yield word
+
+        # Phase 2: transition cover x Sigma^{<=depth} x W_{target state}.
+        for state in machine.states:
+            base = access.get(state)
+            if base is None:
+                continue
+            for symbol in machine.inputs:
+                prefix = base + (symbol,)
+                for middle in _middle_words(machine.inputs, depth):
+                    stem = prefix + middle
+                    target = machine.state_after(stem)
+                    for suffix in ident[target]:
+                        word = stem + suffix
+                        if word and word not in seen:
+                            seen.add(word)
+                            yield word
+
+    return generate()
+
+
+def wp_method_suite(machine: MealyMachine, depth: int = 1) -> List[Word]:
+    """Return the Wp-method test suite for ``machine`` with the given depth."""
+    return list(iter_wp_method_suite(machine, depth))
 
 
 def suite_total_symbols(suite: Iterable[Word]) -> int:

@@ -20,7 +20,7 @@ from repro.errors import LearningError
 from repro.learning.equivalence import ConformanceEquivalenceOracle
 from repro.learning.learner import LearningResult, MealyLearner
 from repro.learning.oracles import CachedMembershipOracle
-from repro.learning.parallel import OracleFactory, oracle_factory_for_cache
+from repro.learning.parallel import OracleFactory, WorkerPool, oracle_factory_for_cache
 from repro.polca.algorithm import PolcaMembershipOracle, PolcaStatistics
 from repro.polca.interfaces import CacheProbeInterface, SimulatedCacheInterface
 from repro.policies.base import ReplacementPolicy
@@ -73,13 +73,16 @@ def identify_policy(
 class PolicyLearningPipeline:
     """Configurable Polca + learner pipeline.
 
-    ``workers=N`` (N > 1) runs the conformance-testing side on a process
-    pool: each worker rebuilds the system under test from a picklable
-    ``oracle_factory`` (derived automatically for simulated caches and any
-    picklable cache interface — see
-    :func:`repro.learning.parallel.oracle_factory_for_cache`) and answers
-    Wp-suite chunks locally; the answers merge back into the shared query
-    engine, so the learned machine is bit-identical to a serial run.
+    ``workers=N`` (N > 1) runs **both** query sides of learning on one
+    shared process pool: the observation-table fill answers each
+    stabilisation round's batch across the workers, and the conformance
+    tester streams lazily generated Wp-suite chunks into the same pool with
+    a bounded in-flight window.  Each worker rebuilds the system under test
+    from a picklable ``oracle_factory`` (derived automatically for
+    simulated caches and any picklable cache interface — see
+    :func:`repro.learning.parallel.oracle_factory_for_cache`); all answers
+    merge back into the shared query engine in deterministic order, so the
+    learned machine is bit-identical to a serial run.
     """
 
     def __init__(
@@ -119,28 +122,36 @@ class PolicyLearningPipeline:
         polca = PolcaMembershipOracle(self.cache)
         engine = CachedMembershipOracle(polca)
         parallel = self.workers is not None and self.workers > 1
-        factory = self.oracle_factory
-        if parallel and factory is None:
-            factory = oracle_factory_for_cache(self.cache)
+        pool = None
+        if parallel:
+            factory = self.oracle_factory
+            if factory is None:
+                factory = oracle_factory_for_cache(self.cache)
+            # One pool serves both the observation-table fill and the
+            # conformance tester; its per-worker accounting covers the run.
+            pool = WorkerPool(factory, self.workers)
         equivalence = ConformanceEquivalenceOracle(
             engine,
             depth=self.depth,
             method=self.method,
             max_tests=self.max_tests,
             batch_size=self.batch_size,
-            workers=self.workers,
-            oracle_factory=factory,
+            pool=pool,
         )
         learner = MealyLearner(
             polca.alphabet(),
             engine,
             equivalence,
             counterexample_strategy=self.counterexample_strategy,
+            pool=pool,
+            fill_chunk_size=self.batch_size,
         )
         try:
             result = learner.learn()
         finally:
             equivalence.close()
+            if pool is not None:
+                pool.close()
         machine = result.machine.minimize()
         identified = None
         if self.identify:
@@ -158,8 +169,9 @@ class PolicyLearningPipeline:
             extra["workers"] = self.workers
             extra["parallel_chunks"] = result.statistics.parallel_chunks
             extra["parallel_words"] = result.statistics.parallel_words
-            extra["worker_query_counts"] = dict(equivalence.worker_query_counts)
-            extra["worker_symbol_counts"] = dict(equivalence.worker_symbol_counts)
+            extra["peak_inflight_words"] = equivalence.peak_inflight_words
+            extra["worker_query_counts"] = dict(pool.worker_query_counts)
+            extra["worker_symbol_counts"] = dict(pool.worker_symbol_counts)
         return PolicyLearningReport(
             machine=machine,
             learning_result=result,

@@ -1,0 +1,289 @@
+"""Unit tests for the process-parallel observation-table fill.
+
+Covers :class:`repro.learning.parallel.WorkerPool` (the pool shared by the
+membership and equivalence oracle sides), the ``pool=`` path of
+:class:`~repro.learning.observation_table.ObservationTable.fill`
+(chunk-index-order merge into the shared trie, bit-identical cells) and the
+``workers=`` wiring of :class:`~repro.learning.learner.MealyLearner`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LearningError, NonDeterminismError
+from repro.learning.equivalence import ConformanceEquivalenceOracle
+from repro.learning.learner import MealyLearner
+from repro.learning.observation_table import ObservationTable
+from repro.learning.oracles import CachedMembershipOracle, MealyMachineOracle
+from repro.learning.parallel import MealyMachineOracleFactory, WorkerPool
+from repro.learning.query_engine import output_query_batch
+from repro.learning.wpmethod import wp_method_suite
+from repro.policies.registry import make_policy
+
+
+def _machine(name: str, associativity: int = 4):
+    return make_policy(name, associativity).to_mealy(max_states=200_000).minimize()
+
+
+def _pool_for(machine, workers: int = 2) -> WorkerPool:
+    return WorkerPool(MealyMachineOracleFactory(machine), workers)
+
+
+# ------------------------------------------------------------------ WorkerPool
+
+
+class TestWorkerPool:
+    def test_rejects_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            WorkerPool(None, 0)
+
+    def test_parallel_requires_a_factory(self):
+        with pytest.raises(LearningError, match="oracle_factory"):
+            WorkerPool(None, 2)
+
+    def test_single_worker_pool_is_serial_and_needs_no_factory(self):
+        pool = WorkerPool(None, 1)
+        assert not pool.parallel
+        pool.close()  # idempotent no-op: no executor was ever created
+
+    def test_answer_batch_matches_serial_engine(self):
+        machine = _machine("MRU", 4)
+        suite = wp_method_suite(machine, 1)
+        # Include duplicates and proper prefixes: the batch contract returns
+        # one answer per input word, in input order.
+        words = suite[:40] + suite[:5] + [suite[0][:1]]
+        serial_engine = CachedMembershipOracle(MealyMachineOracle(machine))
+        expected = output_query_batch(serial_engine, words)
+        engine = CachedMembershipOracle(MealyMachineOracle(machine))
+        with _pool_for(machine) as pool:
+            assert pool.answer_batch(engine, words, chunk_size=8) == expected
+
+    def test_answer_batch_merges_into_shared_trie(self):
+        machine = _machine("LRU", 4)
+        words = wp_method_suite(machine, 1)[:30]
+        engine = CachedMembershipOracle(MealyMachineOracle(machine))
+        with _pool_for(machine) as pool:
+            pool.answer_batch(engine, words, chunk_size=8)
+            assert all(engine.cached_answer(word) is not None for word in words)
+            # Workers executed everything; the parent's delegate stayed idle,
+            # and the worker executions count as the engine's membership
+            # queries so reports stay comparable across worker counts.
+            assert engine._delegate.statistics.membership_queries == 0
+            assert engine.statistics.parallel_words >= 1
+            assert engine.statistics.parallel_chunks >= 2
+            assert sum(pool.worker_query_counts.values()) >= 1
+            assert sum(pool.worker_symbol_counts.values()) >= 1
+            assert engine.statistics.membership_queries == sum(
+                pool.worker_query_counts.values()
+            )
+            assert engine.statistics.membership_symbols == sum(
+                pool.worker_symbol_counts.values()
+            )
+
+    def test_answer_batch_skips_cached_words(self):
+        machine = _machine("LRU", 4)
+        words = wp_method_suite(machine, 1)[:20]
+        engine = CachedMembershipOracle(MealyMachineOracle(machine))
+        engine.output_query_batch(words)  # pre-answer serially
+        hits_before = engine.statistics.cache_hits
+        with _pool_for(machine) as pool:
+            answers = pool.answer_batch(engine, words)
+            assert answers == [machine.run(word) for word in words]
+            assert engine.statistics.parallel_words == 0
+            assert pool.worker_query_counts == {}
+        assert engine.statistics.cache_hits == hits_before + len(words)
+
+    def test_answer_batch_detects_non_determinism(self):
+        machine = _machine("LRU", 2)
+        words = [word for word in wp_method_suite(machine, 1) if len(word) >= 2][:10]
+        engine = CachedMembershipOracle(MealyMachineOracle(machine))
+        prefix = words[0][:1]
+        true_first = machine.run(prefix)[0]
+        engine.record_external(prefix, ("poisoned" if true_first != "poisoned" else "other",))
+        with _pool_for(machine) as pool:
+            with pytest.raises(NonDeterminismError):
+                pool.answer_batch(engine, words)
+
+    def test_answer_batch_works_without_a_cache(self):
+        machine = _machine("FIFO", 2)
+        words = wp_method_suite(machine, 1)[:12]
+        oracle = MealyMachineOracle(machine)  # no cached_answer/record_external
+        with _pool_for(machine) as pool:
+            assert pool.answer_batch(oracle, words, chunk_size=4) == [
+                machine.run(word) for word in words
+            ]
+
+    def test_answer_batch_rejects_bad_chunk_size(self):
+        machine = _machine("LRU", 2)
+        with _pool_for(machine) as pool:
+            with pytest.raises(ValueError):
+                pool.answer_batch(MealyMachineOracle(machine), [], chunk_size=0)
+
+    def test_close_is_idempotent(self):
+        machine = _machine("LRU", 2)
+        pool = _pool_for(machine)
+        pool.answer_batch(MealyMachineOracle(machine), [tuple(machine.inputs)])
+        pool.close()
+        pool.close()
+
+
+# -------------------------------------------------------- parallel table fill
+
+
+class TestParallelObservationTable:
+    def test_parallel_fill_is_bit_identical_to_serial(self):
+        machine = _machine("PLRU", 4)
+        serial = ObservationTable(
+            machine.inputs, CachedMembershipOracle(MealyMachineOracle(machine))
+        )
+        serial.make_closed_and_consistent()
+        with _pool_for(machine) as pool:
+            parallel = ObservationTable(
+                machine.inputs,
+                CachedMembershipOracle(MealyMachineOracle(machine)),
+                pool=pool,
+                chunk_size=8,
+            )
+            parallel.make_closed_and_consistent()
+        assert parallel.short_prefixes == serial.short_prefixes
+        assert parallel.suffixes == serial.suffixes
+        assert parallel._cells == serial._cells
+        assert parallel.hypothesis() == serial.hypothesis()
+
+    def test_parallel_fill_feeds_the_shared_engine(self):
+        machine = _machine("MRU", 4)
+        engine = CachedMembershipOracle(MealyMachineOracle(machine))
+        with _pool_for(machine) as pool:
+            table = ObservationTable(machine.inputs, engine, pool=pool, chunk_size=4)
+            table.make_closed_and_consistent()
+        # Every fill round went through the pool: the parent's delegate never
+        # executed, and the engine's query counts reflect the workers' work.
+        assert engine._delegate.statistics.membership_queries == 0
+        assert engine.statistics.membership_queries == sum(
+            pool.worker_query_counts.values()
+        )
+        assert engine.statistics.parallel_words >= 1
+        assert engine.size >= 1
+
+    def test_serial_pool_falls_back_to_the_batched_engine(self):
+        machine = _machine("LRU", 2)
+        oracle = MealyMachineOracle(machine)
+        pool = WorkerPool(None, 1)
+        table = ObservationTable(machine.inputs, oracle, pool=pool)
+        assert table.missing_cells() == []
+        # The serial pool never spun up workers; the oracle answered locally.
+        assert oracle.statistics.batches == 1
+
+    def test_bad_chunk_size_rejected(self):
+        machine = _machine("LRU", 2)
+        with pytest.raises(LearningError):
+            ObservationTable(
+                machine.inputs, MealyMachineOracle(machine), chunk_size=0
+            )
+
+
+# ------------------------------------------------------------ learner wiring
+
+
+class TestLearnerWorkers:
+    def _learn(self, machine, **kwargs):
+        engine = CachedMembershipOracle(MealyMachineOracle(machine))
+        equivalence = ConformanceEquivalenceOracle(engine, depth=1)
+        learner = MealyLearner(machine.inputs, engine, equivalence, **kwargs)
+        return learner.learn()
+
+    def test_workers_require_a_factory(self):
+        machine = _machine("LRU", 2)
+        with pytest.raises(LearningError, match="oracle_factory"):
+            self._learn(machine, workers=2)
+
+    def test_workers_must_be_positive(self):
+        machine = _machine("LRU", 2)
+        with pytest.raises(ValueError):
+            self._learn(machine, workers=0)
+
+    def test_pool_and_workers_are_mutually_exclusive(self):
+        machine = _machine("LRU", 2)
+        pool = WorkerPool(MealyMachineOracleFactory(machine), 2)
+        with pytest.raises(LearningError, match="not both"):
+            self._learn(machine, pool=pool, workers=2)
+        pool.close()
+
+    def test_parallel_fill_learns_bit_identical_machine(self):
+        machine = _machine("PLRU", 4)
+        serial = self._learn(machine)
+        parallel = self._learn(
+            machine, workers=2, oracle_factory=MealyMachineOracleFactory(machine)
+        )
+        assert parallel.machine == serial.machine
+        assert parallel.rounds == serial.rounds
+        assert parallel.counterexamples == serial.counterexamples
+
+    def test_owned_pool_is_closed_after_learning(self):
+        machine = _machine("LRU", 2)
+        engine = CachedMembershipOracle(MealyMachineOracle(machine))
+        equivalence = ConformanceEquivalenceOracle(engine, depth=1)
+        learner = MealyLearner(
+            machine.inputs,
+            engine,
+            equivalence,
+            workers=2,
+            oracle_factory=MealyMachineOracleFactory(machine),
+        )
+        learner.learn()
+        assert learner._owns_pool
+        assert learner.pool._executor is None  # shut down by learn()
+
+    def test_shared_pool_is_left_running(self):
+        machine = _machine("LRU", 2)
+        engine = CachedMembershipOracle(MealyMachineOracle(machine))
+        equivalence = ConformanceEquivalenceOracle(engine, depth=1)
+        with _pool_for(machine) as pool:
+            learner = MealyLearner(machine.inputs, engine, equivalence, pool=pool)
+            learner.learn()
+            assert pool._executor is not None  # still usable by its owner
+            assert sum(pool.worker_query_counts.values()) >= 1
+
+
+# --------------------------------------------------- one pool, both sides
+
+
+class TestSharedPoolBothSides:
+    def test_fill_and_equivalence_share_one_pool(self):
+        machine = _machine("PLRU", 4)
+        engine = CachedMembershipOracle(MealyMachineOracle(machine))
+        with _pool_for(machine) as pool:
+            equivalence = ConformanceEquivalenceOracle(engine, depth=1, pool=pool)
+            learner = MealyLearner(machine.inputs, engine, equivalence, pool=pool)
+            result = learner.learn()
+            # Membership and conformance words both flowed through the pool:
+            # the parent process never executed a single query itself, but
+            # the worker executions still count as membership queries.
+            assert engine._delegate.statistics.membership_queries == 0
+            assert engine.statistics.membership_queries == sum(
+                pool.worker_query_counts.values()
+            )
+            assert result.statistics.parallel_words >= 1
+            assert sum(pool.worker_query_counts.values()) >= 1
+            # The equivalence oracle reports the shared pool's accounting.
+            assert equivalence.worker_query_counts is pool.worker_query_counts
+        serial = TestLearnerWorkers()._learn(machine)
+        assert result.machine == serial.machine
+
+    def test_equivalence_pool_and_workers_are_mutually_exclusive(self):
+        machine = _machine("LRU", 2)
+        engine = CachedMembershipOracle(MealyMachineOracle(machine))
+        with _pool_for(machine) as pool:
+            with pytest.raises(LearningError, match="not both"):
+                ConformanceEquivalenceOracle(engine, pool=pool, workers=2)
+
+    def test_equivalence_close_leaves_shared_pool_up(self):
+        machine = _machine("LRU", 2)
+        engine = CachedMembershipOracle(MealyMachineOracle(machine))
+        with _pool_for(machine) as pool:
+            equivalence = ConformanceEquivalenceOracle(engine, depth=1, pool=pool)
+            assert equivalence.find_counterexample(machine) is None
+            assert pool._executor is not None
+            equivalence.close()
+            assert pool._executor is not None  # owned by the caller, not us
