@@ -1,0 +1,183 @@
+"""On-disk size and reload time: trie-backed prefix store vs. legacy JSON.
+
+The acceptance experiment of the unified-store PR: persist the response
+cache of a PLRU-8 conformance sweep twice —
+
+* **legacy format** — the pre-PR-5 ``QueryCache`` JSON: one object per
+  concrete query carrying the *full* query text (reset sequence included),
+  so bytes grow with ``suite words x average query length``;
+* **store codec** — the shared :class:`~repro.store.PrefixStore` trie:
+  queries sharing an operation prefix (every probe behind one reset
+  sequence, every extension of one access chain) store it once —
+
+and compare file sizes and cold-reload wall clock.  The probe texts are
+derived *symbolically* from the PLRU reference machine (Polca's block
+mapping replayed against the machine's own outputs), so the benchmark
+measures storage, not simulation.
+
+The default profile uses the depth-1 suite of the 128-state PLRU-8 machine;
+``--full`` (or the slow-marked test) runs the paper-scale depth-2 sweep
+(~342k suite words).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_store_persistence.py [--full]
+
+or through pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_store_persistence.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import time
+from itertools import islice
+from pathlib import Path
+
+import pytest
+
+from repro.cachequery.querycache import QueryCache
+from repro.core.alphabet import MISS_OUTPUT, Line
+from repro.learning.wpmethod import iter_wp_method_suite
+from repro.polca.interfaces import default_block_names
+from repro.polca.reset import FlushRefillReset
+from repro.policies.registry import make_policy
+from repro.store import PrefixStore
+
+#: Cap on suite words for the default (fast) profile.
+DEFAULT_WORD_CAP = 20_000
+
+
+def polca_access_chain(word, outputs, universe, associativity):
+    """The block sequence Polca would access for ``word`` (derived, not run)."""
+    content = list(universe[:associativity])
+    accesses = []
+    for symbol, output in zip(word, outputs):
+        if isinstance(symbol, Line):
+            block = content[symbol.index]
+        else:
+            block = next(b for b in universe if b not in content)
+        accesses.append(block)
+        if output != MISS_OUTPUT:
+            content[output] = block
+    return accesses
+
+
+def sweep_entries(associativity: int, depth: int, cap=None):
+    """Yield ``(query_text, outcomes)`` for a PLRU conformance sweep."""
+    machine = make_policy("PLRU", associativity).to_mealy(max_states=200_000).minimize()
+    universe = default_block_names(associativity + 2)
+    reset = FlushRefillReset().mbl_prefix(associativity, universe)
+    suite = iter_wp_method_suite(machine, depth)
+    if cap is not None:
+        suite = islice(suite, cap)
+    for word in suite:
+        outputs = machine.run(word)
+        chain = polca_access_chain(word, outputs, universe, associativity)
+        text = f"{reset} " + " ".join(f"{block}?" for block in chain)
+        outcomes = tuple(
+            "Hit" if output == MISS_OUTPUT else "Miss" for output in outputs
+        )
+        yield text, outcomes
+
+
+def measure(associativity: int, depth: int, cap=None):
+    with tempfile.TemporaryDirectory() as tmp:
+        legacy_path = Path(tmp) / "legacy.json"
+        store_path = Path(tmp) / "store.json"
+
+        entries = list(sweep_entries(associativity, depth, cap))
+
+        legacy = [
+            {"level": "L2", "slice": 0, "set": 0, "query": text, "outcomes": list(out)}
+            for text, out in entries
+        ]
+        legacy_path.write_text(json.dumps(legacy))
+
+        cache = QueryCache(str(store_path))
+        for text, outcomes in entries:
+            cache.put("L2", 0, 0, text, outcomes)
+        cache.save()
+
+        start = time.perf_counter()
+        json.loads(legacy_path.read_text())
+        legacy_reload = time.perf_counter() - start
+
+        start = time.perf_counter()
+        reloaded = PrefixStore(str(store_path))
+        store_reload = time.perf_counter() - start
+
+        return {
+            "associativity": associativity,
+            "depth": depth,
+            "entries": len(entries),
+            "legacy_bytes": legacy_path.stat().st_size,
+            "store_bytes": store_path.stat().st_size,
+            "ratio": legacy_path.stat().st_size / store_path.stat().st_size,
+            "legacy_reload_seconds": legacy_reload,
+            "store_reload_seconds": store_reload,
+            "store_nodes": reloaded.node_count,
+        }
+
+
+def report(metrics):
+    print(
+        f"PLRU-{metrics['associativity']} depth {metrics['depth']}: "
+        f"{metrics['entries']} queries -> legacy {metrics['legacy_bytes'] / 1024:.0f} KiB, "
+        f"store {metrics['store_bytes'] / 1024:.0f} KiB "
+        f"(x{metrics['ratio']:.1f} smaller, {metrics['store_nodes']} nodes); "
+        f"reload {metrics['legacy_reload_seconds'] * 1000:.0f} ms legacy vs "
+        f"{metrics['store_reload_seconds'] * 1000:.0f} ms store"
+    )
+
+
+def assert_store_wins(metrics):
+    """The acceptance claim: the trie codec is measurably smaller on disk."""
+    assert metrics["store_bytes"] < metrics["legacy_bytes"] / 2, (
+        f"store {metrics['store_bytes']} B is not measurably smaller than "
+        f"legacy {metrics['legacy_bytes']} B"
+    )
+    # Round-trip sanity: the reloaded store answers a probe it stored.
+    assert metrics["store_nodes"] > 0
+
+
+# --------------------------------------------------------------------- pytest
+
+
+def test_store_persistence_smoke_plru8_depth1():
+    """Fast profile: PLRU-8 depth-1 sweep (capped) — store at least 2x smaller."""
+    metrics = measure(8, 1, cap=DEFAULT_WORD_CAP)
+    assert metrics["entries"] > 1000
+    assert_store_wins(metrics)
+
+
+@pytest.mark.slow
+def test_store_persistence_plru8_depth2_full():
+    """The acceptance configuration: the full PLRU-8 depth-2 sweep (~342k words)."""
+    metrics = measure(8, 2)
+    assert metrics["entries"] > 100_000
+    assert_store_wins(metrics)
+    report(metrics)
+
+
+# ----------------------------------------------------------------- standalone
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    print("== Prefix-store persistence vs. legacy QueryCache JSON ==")
+    configurations = [(4, 2, None), (8, 1, DEFAULT_WORD_CAP)]
+    if "--full" in argv:
+        configurations.append((8, 2, None))
+    for associativity, depth, cap in configurations:
+        metrics = measure(associativity, depth, cap)
+        assert_store_wins(metrics)
+        report(metrics)
+    print("\nTrie-backed store measurably smaller than legacy JSON. OK")
+
+
+if __name__ == "__main__":
+    main()

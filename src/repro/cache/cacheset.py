@@ -182,11 +182,30 @@ class SimulatedCacheSet:
         self.associativity = policy.associativity
         self.probe_count = 0
         self.access_count = 0
+        self.sessions_opened = 0
 
     def probe(self, blocks: Sequence[Block]) -> Tuple[str, ...]:
         """Reset the cache, access ``blocks`` in order, return all hit/miss outputs."""
         self._set.reset()
         self.probe_count += 1
+        self.access_count += len(blocks)
+        return tuple(self._set.access(block) for block in blocks)
+
+    def begin_session(self) -> None:
+        """Reset the cache and leave it live for incremental :meth:`session_access`.
+
+        This is the measurement-session counterpart of :meth:`probe`: the
+        state persists between calls, so a consumer following one access
+        chain pays each access once instead of replaying the chain per
+        probe.  Interleaving :meth:`probe` calls invalidates the session
+        state (a probe resets the set), exactly as on hardware — the caller
+        must begin a new session afterwards.
+        """
+        self._set.reset()
+        self.sessions_opened += 1
+
+    def session_access(self, blocks: Sequence[Block]) -> Tuple[str, ...]:
+        """Access ``blocks`` from the current (session) state; return the outcomes."""
         self.access_count += len(blocks)
         return tuple(self._set.access(block) for block in blocks)
 
@@ -203,6 +222,7 @@ class SimulatedCacheSet:
         return tuple(self._set.content)
 
     def reset_statistics(self) -> None:
-        """Zero the probe/access counters."""
+        """Zero the probe/access/session counters."""
         self.probe_count = 0
         self.access_count = 0
+        self.sessions_opened = 0

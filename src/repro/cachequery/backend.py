@@ -247,6 +247,25 @@ class CacheQueryBackend:
                 outcomes.append(self._classifier.classify(cycles))
         return outcomes
 
+    def execute_operations(self, operations: Sequence[Operation]) -> Tuple[str, ...]:
+        """Execute ``operations`` once, in order, from the CPU's *current* state.
+
+        This is the measurement-session primitive: unlike :meth:`execute`
+        it performs no repetition/majority voting (a session's operations
+        mutate the very state later extensions depend on, so each operation
+        runs exactly once) and does not start from a reset — the caller's
+        session path is responsible for establishing a reproducible state.
+        Returns one Hit/Miss verdict per profiled operation.
+        """
+        self._require_context()
+        previous_prefetcher = self.cpu.prefetcher.enabled
+        self.cpu.set_prefetcher(False)
+        try:
+            outcomes = self._execute_once(tuple(operations))
+        finally:
+            self.cpu.set_prefetcher(previous_prefetcher)
+        return tuple(outcomes)
+
     def execute(self, query: Query) -> Tuple[str, ...]:
         """Execute one concrete query; return one Hit/Miss verdict per ``?`` block.
 

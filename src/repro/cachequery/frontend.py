@@ -19,8 +19,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cachequery.backend import BackendConfig, CacheQueryBackend
-from repro.cachequery.querycache import QueryCache
-from repro.errors import CacheQueryError
+from repro.cachequery.querycache import QueryCache, operation_symbol
+from repro.errors import CacheQueryError, NonDeterminismError
 from repro.hardware.cpu import SimulatedCPU
 from repro.hardware.profiles import cpu_profile
 from repro.mbl.expansion import expand, query_to_text
@@ -43,6 +43,26 @@ class CacheQueryConfig:
             self.backend = BackendConfig()
 
 
+class _MeasurementSession:
+    """State of one open measurement session (see :meth:`CacheQuery.open_session`).
+
+    ``operations``/``symbols`` is the logical operation path accumulated so
+    far; ``payloads`` carries one measurement (or ``None``) per position;
+    ``executed`` is the watermark of operations that actually ran on the
+    CPU — everything before it was either executed or served from the
+    response cache and will be (re)played lazily the first time an
+    un-cached extension needs the real state.
+    """
+
+    __slots__ = ("operations", "symbols", "payloads", "executed")
+
+    def __init__(self) -> None:
+        self.operations: List = []
+        self.symbols: List[str] = []
+        self.payloads: List[Optional[str]] = []
+        self.executed = 0
+
+
 class CacheQuery:
     """The frontend: expand MBL, run queries on one cache set, cache the answers."""
 
@@ -52,11 +72,23 @@ class CacheQuery:
         config: Optional[CacheQueryConfig] = None,
         *,
         backend: Optional[CacheQueryBackend] = None,
+        store=None,
     ) -> None:
         self.cpu = cpu
         self.config = config or CacheQueryConfig()
         self.backend = backend or CacheQueryBackend(cpu, self.config.backend)
-        self.cache = QueryCache(self.config.cache_path)
+        # ``store`` (a repro.store.PrefixStore) lets the response cache live
+        # in a shared store — e.g. the same instance backing the learning
+        # trie — so one file persists the whole measurement state.  The
+        # scope keys cached measurements by CPU and effective geometry, so
+        # different machines (or CAT-reduced profiles) sharing one store
+        # file never collide.
+        scope = (cpu.profile.name,) + tuple(
+            f"{name}:{cpu.hierarchy.level(name).effective_associativity}"
+            for name in cpu.hierarchy.level_names()
+        )
+        self.cache = QueryCache(self.config.cache_path, store=store, scope=scope)
+        self._session: Optional[_MeasurementSession] = None
         self.configure(
             level=self.config.level,
             set_index=self.config.set_index,
@@ -82,6 +114,7 @@ class CacheQuery:
         self.backend.configure_target(
             self.config.level, self.config.set_index, self.config.slice_index
         )
+        self._session = None  # a session is bound to one target
 
     @property
     def associativity(self) -> int:
@@ -167,8 +200,113 @@ class CacheQuery:
             "hits": self.cache.hits,
             "misses": self.cache.misses,
             "entries": len(self.cache),
+            "nodes": self.cache.node_count,
             "hit_ratio": self.cache.hit_ratio,
         }
+
+    # ----------------------------------------------------- measurement session
+
+    @property
+    def session_active(self) -> bool:
+        """True while a measurement session is open on the current target."""
+        return self._session is not None
+
+    def open_session(self) -> None:
+        """Open a stateful measurement session on the current target.
+
+        A session accumulates one *operation path*: repeated :meth:`extend`
+        calls append operations and return the new operations' outcomes,
+        executing **only what the response cache cannot already answer** —
+        the resume protocol of the learning stack, pushed down to the
+        hardware frontend.  Execution is lazy: cached extensions cost
+        nothing, and the first un-cached extension replays the pending
+        suffix (never the whole session) to bring the CPU to the session's
+        state.  Session operations run once each (no majority voting): the
+        path itself must start with a reset sequence to be reproducible,
+        exactly like a standalone query.  Because single-shot measurements
+        forgo the repetition-based outlier suppression of :meth:`query`, a
+        noisy timing source can misclassify one access — the session's
+        cross-check against cached measurements then raises
+        :class:`~repro.errors.NonDeterminismError` (the Section 7.1
+        signal) rather than caching a wrong outcome.
+        """
+        self._session = _MeasurementSession()
+
+    def reset_session(self) -> None:
+        """Restart the open session's operation path from scratch."""
+        self._require_session()
+        self._session = _MeasurementSession()
+
+    def close_session(self) -> None:
+        """End the measurement session (idempotent)."""
+        self._session = None
+
+    def _require_session(self) -> _MeasurementSession:
+        if self._session is None:
+            raise CacheQueryError("no measurement session open; call open_session() first")
+        return self._session
+
+    def extend(self, expression: str) -> Tuple[str, ...]:
+        """Append ``expression`` to the open session; return its profiled outcomes.
+
+        The expression must expand to exactly one concrete query fragment
+        for the current target.  Outcomes cover only the *new* operations'
+        profiled accesses; earlier outcomes were already returned by the
+        extends that appended them.
+        """
+        session = self._require_session()
+        fragments = expand(expression, self.associativity, self.blocks)
+        if len(fragments) != 1:
+            raise CacheQueryError(
+                f"a session extension must expand to exactly one query, "
+                f"got {len(fragments)}"
+            )
+        return self._extend_operations(session, fragments[0])
+
+    def _extend_operations(self, session: _MeasurementSession, operations) -> Tuple[str, ...]:
+        start = len(session.operations)
+        session.operations.extend(operations)
+        session.symbols.extend(operation_symbol(operation) for operation in operations)
+        session.payloads.extend(None for _ in operations)
+        new_profiled = [
+            position
+            for position in range(start, len(session.operations))
+            if session.operations[position].profiled
+        ]
+        target = (self.config.level, self.config.slice_index, self.config.set_index)
+        if self.config.use_cache:
+            known, payloads = self.cache.known_prefix(*target, session.symbols)
+            if known == len(session.symbols) and all(
+                payloads[position] is not None for position in new_profiled
+            ):
+                # Fully cached: serve without touching the CPU.  The session
+                # keeps the cached payloads so a later executed replay can
+                # cross-check them against fresh measurements.
+                for position in range(start, len(session.symbols)):
+                    if session.payloads[position] is None:
+                        session.payloads[position] = payloads[position]
+                return tuple(session.payloads[position] for position in new_profiled)
+        # Execute the pending suffix (everything after the watermark — the
+        # un-cached part of the path plus any lazily skipped operations).
+        pending = session.operations[session.executed :]
+        outcomes = iter(self.backend.execute_operations(pending))
+        for position in range(session.executed, len(session.operations)):
+            if session.operations[position].profiled:
+                measured = next(outcomes)
+                cached = session.payloads[position]
+                if cached is not None and cached != measured:
+                    raise NonDeterminismError(
+                        tuple(session.symbols[: position + 1]),
+                        (cached,),
+                        (measured,),
+                    )
+                session.payloads[position] = measured
+        session.executed = len(session.operations)
+        if self.config.use_cache:
+            self.cache.record_path(
+                *target, session.symbols, session.payloads, terminal=False
+            )
+        return tuple(session.payloads[position] for position in new_profiled)
 
     def batch(
         self,
@@ -226,8 +364,15 @@ class CacheQuerySetInterface:
 
     Every :meth:`probe` prepends the configured reset sequence and profiles
     every block of the probe, so Polca sees exactly the reset-and-probe
-    semantics it expects.
+    semantics it expects.  The interface also implements the *measurement
+    session* extension (``supports_sessions``): :meth:`open_session` starts
+    a reset-anchored session and :meth:`extend` profiles additional blocks
+    incrementally, so a resuming consumer (Polca with ``resume=True``)
+    executes only the un-cached suffix of a growing access chain instead of
+    replaying the whole chain per step.
     """
+
+    supports_sessions = True
 
     def __init__(
         self,
@@ -245,12 +390,49 @@ class CacheQuerySetInterface:
         self._initial = universe[: self.associativity]
         self.probe_count = 0
         self.access_count = 0
+        self.sessions_opened = 0
+        self.session_accesses = 0
 
     def initial_blocks(self) -> Tuple[str, ...]:
         return self._initial
 
     def block_universe(self) -> Tuple[str, ...]:
         return self._universe
+
+    def store_namespace(self) -> Tuple[object, ...]:
+        """Namespace key identifying this target inside a shared prefix store."""
+        config = self.frontend.config
+        return (
+            "cachequery",
+            self.frontend.cpu.profile.name,
+            config.level,
+            config.slice_index,
+            config.set_index,
+            self.associativity,
+            self.reset.describe(),
+        )
+
+    # ----------------------------------------------------- measurement session
+
+    def open_session(self) -> None:
+        """Start a measurement session anchored at the reset state."""
+        self.frontend.open_session()
+        prefix = self.reset.mbl_prefix(self.associativity, self._universe)
+        if prefix:
+            self.frontend.extend(prefix)
+        self.sessions_opened += 1
+
+    def extend(self, blocks: Sequence[str]) -> Tuple[str, ...]:
+        """Profile ``blocks`` as an extension of the session's access chain."""
+        if not blocks:
+            return ()
+        outcomes = self.frontend.extend(" ".join(f"{block}?" for block in blocks))
+        self.session_accesses += len(blocks)
+        return outcomes
+
+    def close_session(self) -> None:
+        """End the measurement session (idempotent)."""
+        self.frontend.close_session()
 
     def probe(self, blocks: Sequence[str]) -> Tuple[str, ...]:
         if not blocks:

@@ -1,47 +1,154 @@
 """Query response cache (the LevelDB stand-in of the frontend).
 
 The real frontend memoises MBL query responses in LevelDB so repeated
-queries never reach the kernel module.  Here the cache is an in-memory
-dictionary with optional JSON persistence, keyed by the target
-(level, slice, set) and the concrete query text.
+queries never reach the kernel module.  Since PR 5 the cache is a view over
+the shared :class:`~repro.store.PrefixStore` — the same trie substrate the
+learning engine's ``ResponseTrie`` uses — keyed by the target
+``(level, slice, set)`` (one store namespace per target) and the query's
+*operation path* rather than its full text:
+
+* each whitespace token of the canonical query text is one trie symbol —
+  the block name plus its state-changing flush marker (``A``, ``A!``) —
+  while the measurement marker ``?`` selects which positions carry a
+  payload (cache outcomes are per *profiled* access);
+* queries sharing an operation prefix (every probe of one Polca word, every
+  query behind one reset sequence) share storage structurally, so on-disk
+  caches stop growing quadratically with suite depth;
+* a query whose operations form a *prefix* of an already-answered query is
+  served without ever having been executed itself — and measurement
+  sessions (:meth:`~repro.cachequery.frontend.CacheQuery.open_session`)
+  use :meth:`known_prefix` to execute only the un-cached suffix;
+* conflicting measurements for the same operation prefix raise
+  :class:`~repro.errors.NonDeterminismError`, the broken-reset signal of
+  Section 7.1, now enforced on the frontend path too.
+
+Legacy flat-JSON cache files (one object per full query text) are migrated
+into the trie format on first open and rewritten in the versioned store
+codec on the next :meth:`QueryCache.save`.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-from repro.errors import CacheQueryError
+from repro.errors import CacheQueryError, NonDeterminismError, StoreError
+from repro.mbl.ast import FLUSH_TAG, PROFILE_TAG
+from repro.store import PrefixStore, is_store_document
 
-Key = Tuple[str, int, int, str]
+#: First element of every frontend namespace key inside a shared store.
+FRONTEND_NAMESPACE = "mbl"
+
+
+def tokenize_query(query_text: str) -> Tuple[Tuple[str, ...], Tuple[int, ...]]:
+    """Split canonical query text into trie symbols and profiled positions.
+
+    Returns ``(symbols, profiled)`` where ``symbols`` keeps the
+    state-changing flush marker (``A!``) but strips the measurement marker
+    (``A?`` → ``A``), and ``profiled`` lists the positions whose outcome
+    the query measures.  ``A`` and ``A?`` therefore share one trie node:
+    profiling does not change cache state, only what is observed.
+    """
+    symbols: List[str] = []
+    profiled: List[int] = []
+    for position, token in enumerate(query_text.split()):
+        if token.endswith(PROFILE_TAG):
+            symbols.append(token[: -len(PROFILE_TAG)])
+            profiled.append(position)
+        else:
+            symbols.append(token)
+    return tuple(symbols), tuple(profiled)
+
+
+def operation_symbol(operation) -> str:
+    """Trie symbol for one :class:`~repro.mbl.ast.Operation` (flush kept, ``?`` dropped)."""
+    return f"{operation.block}{FLUSH_TAG}" if operation.flush else operation.block
 
 
 class QueryCache:
-    """A dictionary-backed response cache with optional on-disk persistence."""
+    """A trie-backed response cache with optional on-disk persistence.
 
-    def __init__(self, path: Optional[str] = None) -> None:
+    ``QueryCache(path)`` owns a private :class:`~repro.store.PrefixStore`
+    loaded from ``path`` (native codec or legacy flat JSON, migrated);
+    ``QueryCache(store=...)`` joins an existing — possibly shared — store
+    instead, which is how one store file backs both the frontend cache and
+    the learning trie of a hardware-path run.
+    """
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        *,
+        store: Optional[PrefixStore] = None,
+        scope: Sequence[object] = (),
+    ) -> None:
+        """``scope`` extends the namespace key between the ``"mbl"`` marker and
+        the ``(level, slice, set)`` target — the frontend passes the CPU
+        profile name and per-level effective associativities, so different
+        machines (or CAT/profile-reduced geometries) sharing one store file
+        never collide on a target key."""
         self._path = Path(path) if path is not None else None
-        self._entries: Dict[Key, Tuple[str, ...]] = {}
+        self._scope = tuple(scope)
+        if store is not None:
+            self.store = store
+            if self._path is None:
+                self._path = store.path
+        else:
+            self.store = PrefixStore()
+            self.store.path = self._path
         self.hits = 0
         self.misses = 0
-        if self._path is not None and self._path.exists():
+        if self._path is not None and self._path.exists() and not self._loaded_marker():
             self._load()
 
-    @staticmethod
-    def _key(level: str, slice_index: int, set_index: int, query_text: str) -> Key:
-        return (level, slice_index, set_index, query_text)
+    def _loaded_marker(self) -> bool:
+        """True when the shared store already holds this file's namespaces.
+
+        A store created with ``PrefixStore(path)`` loads the file itself;
+        joining such a store must not migrate/load the same file twice.
+        """
+        if self.store.path != self._path:
+            return False
+        return any(key and key[0] == FRONTEND_NAMESPACE for key in self.store.namespaces())
+
+    # ------------------------------------------------------------- namespaces
+
+    def _key(self, level: str, slice_index: int, set_index: int) -> Tuple[object, ...]:
+        return (FRONTEND_NAMESPACE,) + self._scope + (level, slice_index, set_index)
+
+    def _namespace(self, level: str, slice_index: int, set_index: int):
+        return self.store.namespace(self._key(level, slice_index, set_index))
+
+    def _frontend_namespaces(self):
+        marker = (FRONTEND_NAMESPACE,) + self._scope
+        return [
+            self.store.namespace(key)
+            for key in self.store.namespaces()
+            if key[: len(marker)] == marker
+        ]
+
+    # ----------------------------------------------------------------- access
 
     def get(
         self, level: str, slice_index: int, set_index: int, query_text: str
     ) -> Optional[Tuple[str, ...]]:
-        """Return the cached outcome trace for a query, or ``None``."""
-        entry = self._entries.get(self._key(level, slice_index, set_index, query_text))
-        if entry is None:
+        """Return the cached outcome trace for a query, or ``None``.
+
+        A query is served when its whole operation path is stored — whether
+        it was recorded itself or is a prefix of a longer recorded query —
+        and every profiled position carries a measurement.
+        """
+        symbols, profiled = tokenize_query(query_text)
+        if not symbols:
+            self.misses += 1
+            return None
+        payloads = self._namespace(level, slice_index, set_index).lookup(symbols)
+        if payloads is None or any(payloads[position] is None for position in profiled):
             self.misses += 1
             return None
         self.hits += 1
-        return entry
+        return tuple(payloads[position] for position in profiled)
 
     def put(
         self,
@@ -49,13 +156,57 @@ class QueryCache:
         slice_index: int,
         set_index: int,
         query_text: str,
-        outcomes: Tuple[str, ...],
+        outcomes: Sequence[str],
     ) -> None:
-        """Store the outcome trace of a query."""
-        self._entries[self._key(level, slice_index, set_index, query_text)] = tuple(outcomes)
+        """Store the outcome trace of a query (one outcome per profiled access)."""
+        symbols, profiled = tokenize_query(query_text)
+        outcomes = tuple(outcomes)
+        if len(outcomes) != len(profiled):
+            raise CacheQueryError(
+                f"query {query_text!r} profiles {len(profiled)} accesses but "
+                f"{len(outcomes)} outcomes were provided"
+            )
+        payloads: List[Optional[str]] = [None] * len(symbols)
+        for position, outcome in zip(profiled, outcomes):
+            payloads[position] = outcome
+        self._namespace(level, slice_index, set_index).record(
+            symbols, payloads, terminal=True
+        )
+
+    def record_path(
+        self,
+        level: str,
+        slice_index: int,
+        set_index: int,
+        symbols: Sequence[str],
+        payloads: Sequence[Optional[str]],
+        *,
+        terminal: bool = True,
+    ) -> None:
+        """Record a pre-tokenized operation path (the measurement-session entry point)."""
+        self._namespace(level, slice_index, set_index).record(
+            symbols, payloads, terminal=terminal
+        )
+
+    def known_prefix(
+        self, level: str, slice_index: int, set_index: int, symbols: Sequence[str]
+    ) -> Tuple[int, Tuple[Optional[str], ...]]:
+        """Longest stored prefix of an operation path: ``(k, payloads[:k])``.
+
+        No hit/miss accounting — this is the pure peek measurement sessions
+        use to decide how much of a query still has to execute.
+        """
+        return self._namespace(level, slice_index, set_index).lookup_prefix(symbols)
+
+    # ------------------------------------------------------------- statistics
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return sum(ns.entry_count for ns in self._frontend_namespaces())
+
+    @property
+    def node_count(self) -> int:
+        """Stored operation prefixes across every target (trie nodes)."""
+        return sum(ns.node_count for ns in self._frontend_namespaces())
 
     @property
     def hit_ratio(self) -> float:
@@ -64,20 +215,26 @@ class QueryCache:
         return self.hits / total if total else 0.0
 
     def clear(self) -> None:
-        """Drop every cached response."""
-        self._entries.clear()
+        """Drop every cached response (frontend namespaces only)."""
+        for namespace in self._frontend_namespaces():
+            namespace.clear()
 
     # ----------------------------------------------------------- persistence
 
     def _load(self) -> None:
-        """Populate the cache from its JSON file.
+        """Populate the cache from its file (native store codec or legacy JSON).
 
         A corrupted, truncated or empty file raises a
         :class:`~repro.errors.CacheQueryError` naming the file instead of
-        leaking a raw ``json.JSONDecodeError`` traceback — a half-written
-        cache (e.g. a killed run) is an expected failure mode, and callers
-        can delete the file and retry.  Nothing is partially loaded: the
-        cache stays empty when loading fails.
+        leaking a raw traceback — a half-written cache (e.g. a killed run)
+        is an expected failure mode, and callers can delete the file and
+        retry.  Loading is all-or-nothing: the file is decoded into a
+        scratch store first and merged into the backing store only on full
+        success, so a corrupt file never leaves partial measurements behind
+        — in particular not in a *shared* store other views depend on.
+        Legacy flat-JSON caches (a list of per-query-text objects) are
+        migrated into the trie on load and rewritten in the store codec by
+        the next :meth:`save`.
         """
         try:
             raw = json.loads(self._path.read_text())
@@ -86,35 +243,64 @@ class QueryCache:
                 f"query cache file {self._path} is unreadable or corrupted "
                 f"({exc}); delete it to start with an empty cache"
             ) from exc
-        if not isinstance(raw, list):
+        staging = PrefixStore()
+        if is_store_document(raw):
+            from repro.store.codec import load_store_document
+
+            try:
+                load_store_document(self._path, raw, staging)
+            except StoreError as exc:
+                raise CacheQueryError(str(exc)) from exc
+        elif isinstance(raw, list):
+            self._migrate_legacy(raw, staging)
+        else:
             raise CacheQueryError(
                 f"query cache file {self._path} is malformed: expected a JSON "
-                f"list of entries, got {type(raw).__name__}"
+                f"list of entries (legacy format) or a prefix-store document, "
+                f"got {type(raw).__name__}"
             )
-        entries: Dict[Key, Tuple[str, ...]] = {}
+        try:
+            for key in staging.namespaces():
+                self.store.namespace(key).merge(staging.namespace(key))
+        except NonDeterminismError as exc:
+            raise CacheQueryError(
+                f"query cache file {self._path} conflicts with measurements "
+                f"already in the shared store ({exc}); the two sources "
+                "disagree about the same operation prefix"
+            ) from exc
+
+    def _migrate_legacy(self, raw: list, staging: PrefixStore) -> None:
+        """Decode a legacy flat-JSON cache into ``staging``, validating every entry."""
+        migrated = QueryCache(store=staging, scope=self._scope)
         for index, item in enumerate(raw):
             try:
-                key = (item["level"], item["slice"], item["set"], item["query"])
-                entries[key] = tuple(item["outcomes"])
+                level = item["level"]
+                slice_index = item["slice"]
+                set_index = item["set"]
+                query = item["query"]
+                outcomes = tuple(item["outcomes"])
             except (KeyError, TypeError) as exc:
                 raise CacheQueryError(
                     f"query cache file {self._path} is malformed at entry "
                     f"{index}: {exc!r}; delete it to start with an empty cache"
                 ) from exc
-        self._entries.update(entries)
+            try:
+                migrated.put(level, slice_index, set_index, query, outcomes)
+            except NonDeterminismError as exc:
+                raise CacheQueryError(
+                    f"legacy query cache file {self._path} contains conflicting "
+                    f"measurements for a shared operation prefix ({exc}); the "
+                    "recorded system was not deterministic — delete the file to "
+                    "start with an empty cache"
+                ) from exc
+            except CacheQueryError as exc:
+                raise CacheQueryError(
+                    f"query cache file {self._path} is malformed at entry "
+                    f"{index}: {exc}; delete it to start with an empty cache"
+                ) from exc
 
     def save(self) -> None:
-        """Write the cache to its JSON file (no-op for purely in-memory caches)."""
+        """Atomically write the backing store (no-op for purely in-memory caches)."""
         if self._path is None:
             return
-        serialised = [
-            {
-                "level": level,
-                "slice": slice_index,
-                "set": set_index,
-                "query": query,
-                "outcomes": list(outcomes),
-            }
-            for (level, slice_index, set_index, query), outcomes in self._entries.items()
-        ]
-        self._path.write_text(json.dumps(serialised))
+        self.store.save(self._path)

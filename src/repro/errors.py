@@ -47,6 +47,20 @@ class CacheQueryError(ReproError):
     """The CacheQuery frontend/backend could not execute a query."""
 
 
+class StoreError(ReproError):
+    """The shared prefix store could not record, encode or persist data."""
+
+
+class StoreCorruptionError(StoreError):
+    """A prefix-store file on disk is unreadable, malformed or truncated.
+
+    Raised with a message naming the file and the first structural problem
+    found, so a half-written store (e.g. a killed run) surfaces as an
+    actionable diagnostic instead of a raw traceback.  Loading is
+    all-or-nothing: a store that fails to load stays empty.
+    """
+
+
 class LearningError(ReproError):
     """The automata-learning loop failed (non-determinism, budget, ...)."""
 

@@ -22,16 +22,36 @@ from typing import Optional, Sequence
 
 from repro.experiments.leader_sets import detect_leader_sets, follower_adaptivity
 from repro.experiments.overhead import mbl_query_latency, simulated_vs_cachequery_overhead
-from repro.experiments.reporting import format_table
+from repro.experiments.reporting import format_store_statistics, format_table
 from repro.experiments.table2 import format_table2, run_table2
 from repro.experiments.table3 import format_table3
 from repro.experiments.table4 import format_table4, run_table4
 from repro.experiments.table5 import format_table5, run_table5
 
 
-def _print_table2(mode: str, workers: Optional[int]) -> None:
+def _make_store(cache_path: Optional[str]):
+    if cache_path is None:
+        return None
+    from repro.store import PrefixStore
+
+    return PrefixStore(cache_path)
+
+
+def _print_store(store, rows) -> None:
+    if store is None:
+        return
+    hits = sum(getattr(row, "cache_hits", 0) for row in rows)
+    queries = sum(getattr(row, "membership_queries", 0) for row in rows)
+    ratio = hits / (hits + queries) if hits + queries else None
+    print(format_store_statistics(store.statistics(), hit_ratio=ratio))
+
+
+def _print_table2(mode: str, workers: Optional[int], **kwargs) -> None:
     print("== Table 2: learning from software-simulated caches ==")
-    print(format_table2(run_table2(mode, workers=workers)))
+    store = _make_store(kwargs.pop("cache_path", None))
+    rows = run_table2(mode, workers=workers, store=store, **kwargs)
+    print(format_table2(rows))
+    _print_store(store, rows)
 
 
 def _print_table3() -> None:
@@ -39,9 +59,12 @@ def _print_table3() -> None:
     print(format_table3())
 
 
-def _print_table4(mode: str, workers: Optional[int]) -> None:
+def _print_table4(mode: str, workers: Optional[int], **kwargs) -> None:
     print("== Table 4: learning from (simulated) hardware via CacheQuery ==")
-    print(format_table4(run_table4(mode, workers=workers)))
+    store = _make_store(kwargs.pop("cache_path", None))
+    rows = run_table4(mode, workers=workers, store=store, **kwargs)
+    print(format_table4(rows))
+    _print_store(store, rows)
 
 
 def _print_table5(mode: str) -> None:
@@ -110,21 +133,49 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "(table2/table4; learned machines are identical to serial runs)",
     )
     parser.add_argument(
+        "--cache-path",
+        default=None,
+        metavar="FILE",
+        help="persistent prefix-store file shared by the run's response caches "
+        "and learning tries (table2/table4); saved after every row, so an "
+        "interrupted sweep resumes from what it already measured",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="answer each query by executing only its un-cached suffix through "
+        "stateful measurement sessions (table2/table4; serial runs only — "
+        "resume changes which measurements execute, so it is incompatible "
+        "with --workers > 1)",
+    )
+    parser.add_argument(
         "--json", action="store_true", help="emit raw results as JSON instead of tables"
     )
     arguments = parser.parse_args(argv)
     if arguments.workers is not None and arguments.workers < 1:
         parser.error("--workers must be >= 1")
+    if arguments.resume and arguments.workers is not None and arguments.workers > 1:
+        parser.error("--resume is serial-only; drop it or use --workers 1")
+    learning_kwargs = {
+        "cache_path": arguments.cache_path,
+        "resume": arguments.resume,
+    }
 
     if arguments.json:
         payload = {}
         if arguments.experiment in ("table2", "all"):
             payload["table2"] = [
-                row.__dict__ for row in run_table2(arguments.mode, workers=arguments.workers)
+                row.__dict__
+                for row in run_table2(
+                    arguments.mode, workers=arguments.workers, **learning_kwargs
+                )
             ]
         if arguments.experiment in ("table4", "all"):
             payload["table4"] = [
-                row.__dict__ for row in run_table4(arguments.mode, workers=arguments.workers)
+                row.__dict__
+                for row in run_table4(
+                    arguments.mode, workers=arguments.workers, **learning_kwargs
+                )
             ]
         if arguments.experiment in ("table5", "all"):
             payload["table5"] = [
@@ -136,11 +187,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     if arguments.experiment in ("table2", "all"):
-        _print_table2(arguments.mode, arguments.workers)
+        _print_table2(arguments.mode, arguments.workers, **learning_kwargs)
     if arguments.experiment in ("table3", "all"):
         _print_table3()
     if arguments.experiment in ("table4", "all"):
-        _print_table4(arguments.mode, arguments.workers)
+        _print_table4(arguments.mode, arguments.workers, **learning_kwargs)
     if arguments.experiment in ("table5", "all"):
         _print_table5(arguments.mode)
     if arguments.experiment in ("overhead", "all"):

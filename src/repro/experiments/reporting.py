@@ -31,3 +31,30 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> st
 def rows_as_dicts(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> List[dict]:
     """Zip rows with headers (JSON-friendly output for the CLI)."""
     return [dict(zip(headers, row)) for row in rows]
+
+
+def format_bytes(count: int) -> str:
+    """Render a byte count human-readably (``1.4 KiB``, ``3.2 MiB``)."""
+    value = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024
+    return f"{int(count)} B"  # pragma: no cover - unreachable
+
+
+def format_store_statistics(stats: dict, hit_ratio: float = None) -> str:
+    """One-line summary of a shared prefix store (size + optional hit ratio).
+
+    ``stats`` is :meth:`repro.store.PrefixStore.statistics`; ``hit_ratio``
+    is the fraction of membership lookups the run served from the cache.
+    """
+    location = stats.get("path") or "in-memory"
+    line = (
+        f"prefix store {location}: {stats.get('namespaces', 0)} namespaces, "
+        f"{stats.get('entries', 0)} entries in {stats.get('nodes', 0)} shared "
+        f"prefix nodes, {format_bytes(stats.get('bytes_on_disk', 0))} on disk"
+    )
+    if hit_ratio is not None:
+        line += f"; cache hit ratio {hit_ratio * 100:.1f}%"
+    return line

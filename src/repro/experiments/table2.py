@@ -127,22 +127,39 @@ def run_table2(
     *,
     depth: int = 1,
     workers: Optional[int] = None,
+    resume: bool = False,
+    store=None,
+    cache_path: Optional[str] = None,
 ) -> List[Table2Row]:
     """Learn every configured policy from its software-simulated cache.
 
     ``workers=N`` (N > 1) runs each configuration's whole learning run —
     observation-table fill *and* conformance testing — on one shared
     process pool; the learned machines are bit-identical to serial runs
-    (see :mod:`repro.learning.parallel`).
+    (see :mod:`repro.learning.parallel`).  ``resume=True`` (serial only)
+    answers each query by executing only its un-cached suffix through
+    measurement sessions.  ``store``/``cache_path`` place every
+    configuration's query engine in one shared
+    :class:`~repro.store.PrefixStore` (one namespace per policy target);
+    with a path the store is saved after every row, so an interrupted sweep
+    resumes from what it already measured.
     """
     if configurations is None:
         configurations = table2_configurations(mode)
+    if store is None and cache_path is not None:
+        from repro.store import PrefixStore
+
+        store = PrefixStore(cache_path)
     rows: List[Table2Row] = []
     for policy_name, associativity in configurations:
         policy = make_policy(policy_name, associativity)
         start = time.perf_counter()
-        report = learn_simulated_policy(policy, depth=depth, workers=workers)
+        report = learn_simulated_policy(
+            policy, depth=depth, workers=workers, resume=resume, store=store
+        )
         elapsed = time.perf_counter() - start
+        if store is not None:
+            store.save()
         rows.append(
             Table2Row(
                 policy=policy_name,

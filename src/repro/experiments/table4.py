@@ -94,6 +94,9 @@ class Table4Row:
     note: str = ""
     cache_hits: int = 0
     tests_skipped: int = 0
+    #: Executed membership queries of the shared query engine (like Table 2's
+    #: column; worker-count-invariant since worker deltas merge on collect).
+    membership_queries: int = 0
 
     @property
     def matches_paper_policy(self) -> Optional[bool]:
@@ -189,8 +192,18 @@ def run_table4_configuration(
     noise_std: float = 0.0,
     depth: int = 1,
     workers: Optional[int] = None,
+    resume: bool = False,
+    store=None,
 ) -> Table4Row:
-    """Run the hardware-learning pipeline for one (CPU, level) target."""
+    """Run the hardware-learning pipeline for one (CPU, level) target.
+
+    One :class:`~repro.store.PrefixStore` instance backs *both* caching
+    stacks of the run — the frontend's response cache and the learning
+    engine's trie — in separate namespaces; pass ``store`` (possibly
+    path-backed) to share it across configurations or persist it.
+    ``resume=True`` (serial only) opens measurement sessions on the
+    CacheQuery frontend so only un-cached suffixes execute.
+    """
     paper_policy = PAPER_TABLE4_POLICY.get((configuration.cpu, configuration.level))
     paper_states = PAPER_TABLE4_STATES.get((configuration.cpu, configuration.level))
     if not configuration.learnable:
@@ -225,6 +238,10 @@ def run_table4_configuration(
         if configuration.cat_ways < spec.associativity:
             cpu.configure_cat(configuration.level, configuration.cat_ways)
             note = f"CAT reduces associativity {spec.associativity} -> {configuration.cat_ways}"
+    if store is None:
+        from repro.store import PrefixStore
+
+        store = PrefixStore()
     frontend = CacheQuery(
         cpu,
         CacheQueryConfig(
@@ -233,6 +250,7 @@ def run_table4_configuration(
             slice_index=configuration.slice_index,
             backend=BackendConfig(repetitions=repetitions),
         ),
+        store=store,
     )
     reset = FlushRefillReset()
     interface = CacheQuerySetInterface(frontend, reset=reset)
@@ -252,9 +270,15 @@ def run_table4_configuration(
     # suite chunks against their own copy — the hardware-path analogue of
     # rebuilding a simulator.
     report = learn_policy_from_cache(
-        interface, depth=depth, identification_candidates=candidates, workers=workers
+        interface,
+        depth=depth,
+        identification_candidates=candidates,
+        workers=workers,
+        resume=resume,
+        store=store,
     )
     elapsed = time.perf_counter() - start
+    store.save()  # no-op for in-memory stores
     return Table4Row(
         cpu=configuration.cpu,
         level=configuration.level,
@@ -269,6 +293,7 @@ def run_table4_configuration(
         note=note,
         cache_hits=report.learning_result.statistics.cache_hits,
         tests_skipped=report.learning_result.statistics.tests_skipped,
+        membership_queries=report.learning_result.statistics.membership_queries,
     )
 
 
@@ -279,13 +304,31 @@ def run_table4(
     repetitions: int = 1,
     noise_std: float = 0.0,
     workers: Optional[int] = None,
+    resume: bool = False,
+    store=None,
+    cache_path: Optional[str] = None,
 ) -> List[Table4Row]:
-    """Run the hardware-learning experiment for every configured target."""
+    """Run the hardware-learning experiment for every configured target.
+
+    ``store``/``cache_path`` share one persistent
+    :class:`~repro.store.PrefixStore` across every (CPU, level) target —
+    frontend response caches and learning tries alike, one namespace per
+    target — saved after every configuration.
+    """
     if configurations is None:
         configurations = table4_configurations(mode)
+    if store is None and cache_path is not None:
+        from repro.store import PrefixStore
+
+        store = PrefixStore(cache_path)
     return [
         run_table4_configuration(
-            configuration, repetitions=repetitions, noise_std=noise_std, workers=workers
+            configuration,
+            repetitions=repetitions,
+            noise_std=noise_std,
+            workers=workers,
+            resume=resume,
+            store=store,
         )
         for configuration in configurations
     ]
@@ -303,6 +346,7 @@ def format_table4(rows: Sequence[Table4Row]) -> str:
         "Paper policy",
         "Reset",
         "Time",
+        "Memb. queries",
         "Cache hits",
         "Note",
     )
@@ -317,6 +361,7 @@ def format_table4(rows: Sequence[Table4Row]) -> str:
             row.paper_policy or "-",
             row.reset,
             format_seconds(row.seconds),
+            row.membership_queries,
             row.cache_hits,
             row.note,
         )

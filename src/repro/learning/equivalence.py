@@ -37,7 +37,7 @@ from repro.core.mealy import MealyMachine
 from repro.errors import LearningError
 from repro.learning.oracles import MembershipOracle, QueryStatistics
 from repro.learning.parallel import OracleFactory, WorkerPool
-from repro.learning.query_engine import output_query_batch
+from repro.learning.query_engine import dedupe_and_subsume, output_query_batch
 from repro.learning.wpmethod import iter_w_method_suite, iter_wp_method_suite
 
 Input = Hashable
@@ -283,9 +283,44 @@ iter_wp_method_suite` generates test words lazily and the oracle consumes
     def _find_counterexample_parallel(
         self, hypothesis: MealyMachine, suite: Iterator[Word]
     ) -> Optional[Word]:
-        pool = self._active_pool()
         cached_answer = getattr(self.oracle, "cached_answer", None)
         record_external = getattr(self.oracle, "record_external", None)
+        if cached_answer is not None and record_external is not None:
+            return self._parallel_with_shared_trie(hypothesis, suite)
+        return self._parallel_without_trie(hypothesis, suite)
+
+    def _drain_and_cancel(self, suite: Iterator[Word], pending) -> None:
+        """Counterexample found: cancel queued chunks, finish truncation accounting."""
+        for item in pending:
+            future = item[2]  # (chunk, missing, future, ...) in both paths
+            if future is not None:
+                future.cancel()
+        # Words beyond a max_tests cap were never going to run regardless of
+        # this counterexample — count them exactly like a serial run.
+        if self.max_tests is not None:
+            for _ in suite:
+                pass
+
+    def _parallel_with_shared_trie(
+        self, hypothesis: MealyMachine, suite: Iterator[Word]
+    ) -> Optional[Word]:
+        """The engine-backed parallel path, accounting-identical to serial.
+
+        Each chunk is partitioned exactly like the serial engine partitions
+        its batches — duplicates, already-cached words and intra-chunk
+        prefix subsumption recorded through the same
+        ``QueryStatistics.record_batch`` — so the cache-hit and
+        subsumed-word columns cannot drift between ``--workers 0`` and
+        ``--workers N``.  Words covered by a chunk still *in flight*
+        (equal to, or a proper prefix of, a shipped word) are not shipped
+        again: chunks are consumed in suite order, so by the time their
+        own chunk is compared the covering answers have merged into the
+        shared trie — exactly the words a serial run would have found
+        cached.
+        """
+        pool = self._active_pool()
+        cached_answer = self.oracle.cached_answer
+        record_external = self.oracle.record_external
         # Worker executions are real queries against the system under
         # learning: fold them into the membership oracle's statistics so
         # query counts stay comparable across worker counts (a serial run
@@ -295,16 +330,16 @@ iter_wp_method_suite` generates test words lazily and the oracle consumes
         # are submitted as the generator produces them and consumed in
         # suite order, so the first mismatching word wins deterministically
         # while the parent queues at most max_inflight * batch_size words.
-        pending: Deque[Tuple[List[Word], List[Word], Optional[Future]]] = deque()
-        assigned: set = set()
+        pending: Deque[Tuple[List[Word], List[Word], Optional[Future], int]] = deque()
+        # Reference-counted cover of every in-flight shipped word and its
+        # proper prefixes — bounded by the in-flight window, released as
+        # chunks merge into the trie.
+        inflight_cover: Dict[Word, int] = {}
         inflight_words = 0
-        # Answers for worker-executed words when there is no shared trie to
-        # merge them into (duplicates across chunks ride with the first
-        # chunk that contains them, so later chunks may need them again).
-        answers: Optional[Dict[Word, OutputWord]] = (
-            None if record_external is not None else {}
-        )
         exhausted = False
+
+        def covered(word: Word) -> bool:
+            return cached_answer(word) is not None or word in inflight_cover
 
         def submit_next() -> bool:
             """Pull one more chunk from the suite and ship its missing words."""
@@ -312,11 +347,87 @@ iter_wp_method_suite` generates test words lazily and the oracle consumes
             chunk = [tuple(word) for word in islice(suite, self.batch_size)]
             if not chunk:
                 return False
+            already_covered = sum(1 for word in chunk if covered(word))
+            missing = [
+                word for word in dedupe_and_subsume(chunk) if not covered(word)
+            ]
+            future = pool.submit(missing) if missing else None
+            for word in missing:
+                for length in range(1, len(word) + 1):
+                    prefix = word[:length]
+                    inflight_cover[prefix] = inflight_cover.get(prefix, 0) + 1
+            pending.append((chunk, missing, future, already_covered))
+            inflight_words += len(chunk)
+            self.peak_inflight_words = max(self.peak_inflight_words, inflight_words)
+            return True
+
+        while True:
+            while not exhausted and len(pending) < self.max_inflight:
+                if not submit_next():
+                    exhausted = True
+            if not pending:
+                return None
+            chunk, missing, future, already_covered = pending.popleft()
+            inflight_words -= len(chunk)
+            self.statistics.test_words += len(chunk)
+            if oracle_statistics is not None:
+                # The same accounting a serial engine batch records — done at
+                # *consume* time, so chunks cancelled by a counterexample
+                # (which a serial run never reaches) are never counted.
+                oracle_statistics.record_batch(len(chunk), already_covered, len(missing))
+            if future is not None:
+                worker_answers = pool.collect(
+                    future, missing, statistics=oracle_statistics
+                )
+                self.statistics.parallel_chunks += 1
+                self.statistics.parallel_words += len(missing)
+                for word, outputs in zip(missing, worker_answers):
+                    # Feed the shared trie; raises NonDeterminismError when
+                    # a worker disagrees with a cached prefix.
+                    record_external(word, outputs)
+            for word in missing:
+                for length in range(1, len(word) + 1):
+                    prefix = word[:length]
+                    remaining = inflight_cover[prefix] - 1
+                    if remaining:
+                        inflight_cover[prefix] = remaining
+                    else:
+                        del inflight_cover[prefix]
+            for word in chunk:
+                actual = cached_answer(word)
+                if actual is None:  # pragma: no cover - every word is covered
+                    raise LearningError(
+                        f"suite word {word!r} was neither cached nor answered "
+                        "by its chunk"
+                    )
+                if actual != hypothesis.run(word):
+                    self._drain_and_cancel(suite, pending)
+                    return word
+
+    def _parallel_without_trie(
+        self, hypothesis: MealyMachine, suite: Iterator[Word]
+    ) -> Optional[Word]:
+        """Parallel path for plain oracles (no shared cache to merge into).
+
+        Answers for worker-executed words ride in a parent-side dictionary:
+        duplicates across chunks ride with the first chunk that contains
+        them, so later chunks may need them again.
+        """
+        pool = self._active_pool()
+        pending: Deque[Tuple[List[Word], List[Word], Optional[Future]]] = deque()
+        assigned: set = set()
+        inflight_words = 0
+        answers: Dict[Word, OutputWord] = {}
+        exhausted = False
+
+        def submit_next() -> bool:
+            nonlocal inflight_words
+            chunk = [tuple(word) for word in islice(suite, self.batch_size)]
+            if not chunk:
+                return False
             missing: List[Word] = []
             for word in chunk:
                 if word in assigned:
-                    continue
-                if cached_answer is not None and cached_answer(word) is not None:
                     continue
                 assigned.add(word)
                 missing.append(word)
@@ -335,43 +446,18 @@ iter_wp_method_suite` generates test words lazily and the oracle consumes
             chunk, missing, future = pending.popleft()
             inflight_words -= len(chunk)
             self.statistics.test_words += len(chunk)
-            chunk_answers: Dict[Word, OutputWord] = {}
             if future is not None:
-                worker_answers = pool.collect(
-                    future, missing, statistics=oracle_statistics
-                )
+                worker_answers = pool.collect(future, missing)
                 self.statistics.parallel_chunks += 1
                 self.statistics.parallel_words += len(missing)
                 for word, outputs in zip(missing, worker_answers):
-                    if record_external is not None:
-                        # Feed the shared trie; raises NonDeterminismError
-                        # when a worker disagrees with a cached prefix.
-                        record_external(word, outputs)
-                        chunk_answers[word] = outputs
-                        # The trie now answers this word, so the
-                        # cached_answer check dedupes later chunks —
-                        # pruning keeps `assigned` bounded by the in-flight
-                        # window instead of growing with the suite.
-                        assigned.discard(word)
-                    else:
-                        answers[word] = outputs
+                    answers[word] = outputs
             for word in chunk:
-                actual = (answers if answers is not None else chunk_answers).get(word)
+                actual = answers.get(word)
                 if actual is None:
-                    # Cached before this call, or merged into the shared trie
-                    # by an earlier chunk: a guaranteed hit on the shared
-                    # cache, counted as a cache hit exactly like a serial
-                    # run counts its already-cached suite words.
                     actual = tuple(self.oracle.output_query(word))
                 if actual != hypothesis.run(word):
-                    for _, _, later in pending:
-                        if later is not None:
-                            later.cancel()
-                    # Keep the truncation accounting identical to a serial
-                    # run that found the same counterexample.
-                    if self.max_tests is not None:
-                        for _ in suite:
-                            pass
+                    self._drain_and_cancel(suite, pending)
                     return word
 
 

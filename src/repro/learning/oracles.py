@@ -29,7 +29,7 @@ The module provides:
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
-from typing import Callable, Dict, Hashable, List, Protocol, Sequence, Tuple
+from typing import Callable, Dict, Hashable, List, Optional, Protocol, Sequence, Tuple
 
 from repro.core.mealy import MealyMachine
 from repro.errors import NonDeterminismError, OutputLengthMismatchError
@@ -161,9 +161,18 @@ class MealyMachineOracle:
         return self.machine.run(word)
 
     def output_query_resume(
-        self, prefix: Sequence[Input], suffix: Sequence[Input]
+        self,
+        prefix: Sequence[Input],
+        suffix: Sequence[Input],
+        prefix_outputs: Optional[Sequence[Output]] = None,
     ) -> OutputWord:
-        """Return the outputs of ``suffix`` after ``prefix``, executing only ``suffix``."""
+        """Return the outputs of ``suffix`` after ``prefix``, executing only ``suffix``.
+
+        ``prefix_outputs`` (the cached answer of ``prefix``) is part of the
+        resume protocol for oracles that rebuild their resume state from
+        past observations (Polca); a machine-backed oracle knows its state
+        directly and ignores it.
+        """
         suffix = tuple(suffix)
         self.statistics.record_query(len(suffix))
         self.statistics.resumed_symbols += len(suffix)
@@ -190,9 +199,28 @@ class CachedMembershipOracle:
     detects incorrect reset sequences (Section 7.1).
     """
 
-    def __init__(self, delegate: MembershipOracle) -> None:
+    def __init__(
+        self,
+        delegate: MembershipOracle,
+        *,
+        store=None,
+        namespace: Sequence[Hashable] = None,
+    ) -> None:
+        """Wrap ``delegate`` with the trie-backed cache.
+
+        ``store`` (a :class:`~repro.store.PrefixStore`) lets callers place
+        the trie in a shared — possibly path-backed — store, e.g. the same
+        store instance the CacheQuery frontend's ``QueryCache`` uses;
+        ``namespace`` picks the trie's namespace key inside it (defaults to
+        the learning namespace).
+        """
+        from repro.learning.query_engine import DEFAULT_LEARNING_NAMESPACE
+
         self._delegate = delegate
-        self._trie = ResponseTrie()
+        self._trie = ResponseTrie(
+            store=store,
+            namespace=namespace if namespace is not None else DEFAULT_LEARNING_NAMESPACE,
+        )
         self._resume = supports_resume(delegate)
         self.statistics = QueryStatistics()
 
@@ -214,7 +242,9 @@ class CachedMembershipOracle:
             self.statistics.record_query(len(suffix))
             self.statistics.resumed_symbols += len(suffix)
             suffix_outputs = tuple(
-                self._delegate.output_query_resume(word[:prefix_length], suffix)
+                self._delegate.output_query_resume(
+                    word[:prefix_length], suffix, prefix_outputs=prefix_outputs
+                )
             )
             if len(suffix_outputs) != len(suffix):
                 raise OutputLengthMismatchError(suffix, suffix_outputs)

@@ -42,7 +42,7 @@ import multiprocessing
 import os
 import pickle
 from concurrent.futures import Future, ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, fields, is_dataclass
 from typing import Callable, Dict, Hashable, List, Optional, Protocol, Sequence, Tuple
 
 from repro.core.mealy import MealyMachine
@@ -206,25 +206,75 @@ def initialize_worker(factory: OracleFactory) -> None:
     _WORKER_ORACLE = factory()
 
 
-def _executed_counters(oracle) -> Tuple[int, int]:
-    """Read (queries, symbols) counters off any oracle's statistics object."""
+def statistics_snapshot(oracle) -> Dict[str, float]:
+    """Numeric counters describing everything ``oracle`` has executed so far.
+
+    Collects every numeric field of the oracle's ``statistics`` dataclass
+    (:class:`~repro.learning.oracles.QueryStatistics` for machine-backed
+    oracles, ``PolcaStatistics`` for Polca) plus, when the oracle wraps a
+    cache interface, the interface-level probe/access counters and — for
+    the CacheQuery hardware path — the frontend response-cache hit/miss and
+    backend execution counters.  Two snapshots bracket a chunk execution
+    and their difference (:func:`statistics_delta`) travels back to the
+    parent, so reports can merge the *full* worker-side cost — probes,
+    block accesses, frontend cache hits — not just query/symbol counts.
+    """
+    snapshot: Dict[str, float] = {}
     statistics = getattr(oracle, "statistics", None)
-    if statistics is None:
-        return 0, 0
-    queries = getattr(statistics, "membership_queries", None)
-    symbols = getattr(statistics, "membership_symbols", None)
-    if queries is None:  # Polca counts policy-level queries instead
-        queries = getattr(statistics, "policy_queries", 0)
-        symbols = getattr(statistics, "policy_symbols", 0)
-    return int(queries), int(symbols or 0)
+    if statistics is not None and is_dataclass(statistics):
+        for field in fields(statistics):
+            value = getattr(statistics, field.name)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                snapshot[field.name] = value
+    cache = getattr(oracle, "cache", None)
+    if cache is not None:
+        for name in ("probe_count", "access_count", "sessions_opened", "session_accesses"):
+            value = getattr(cache, name, None)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                snapshot[f"interface_{name}"] = value
+        frontend = getattr(cache, "frontend", None)
+        if frontend is not None:
+            response_cache = getattr(frontend, "cache", None)
+            if response_cache is not None:
+                snapshot["frontend_cache_hits"] = response_cache.hits
+                snapshot["frontend_cache_misses"] = response_cache.misses
+            backend = getattr(frontend, "backend", None)
+            if backend is not None:
+                snapshot["backend_executed_queries"] = backend.executed_queries
+                snapshot["backend_executed_loads"] = backend.executed_loads
+    return snapshot
 
 
-def answer_words_in_worker(words: Sequence[Word]) -> Tuple[int, List[OutputWord], int, int]:
+def statistics_delta(
+    before: Dict[str, float], after: Dict[str, float]
+) -> Dict[str, float]:
+    """Per-counter difference of two snapshots (zero entries dropped)."""
+    return {
+        name: after[name] - before.get(name, 0)
+        for name in after
+        if after[name] != before.get(name, 0)
+    }
+
+
+def _delta_queries_symbols(delta: Dict[str, float]) -> Tuple[int, int]:
+    """Executed (queries, symbols) of a chunk delta, whatever the oracle type."""
+    if "membership_queries" in delta or "membership_symbols" in delta:
+        return (
+            int(delta.get("membership_queries", 0)),
+            int(delta.get("membership_symbols", 0)),
+        )
+    # Polca counts policy-level queries instead.
+    return int(delta.get("policy_queries", 0)), int(delta.get("policy_symbols", 0))
+
+
+def answer_words_in_worker(
+    words: Sequence[Word],
+) -> Tuple[int, List[OutputWord], Dict[str, float]]:
     """Answer a suite chunk against this worker's oracle.
 
-    Returns ``(worker_id, answers, executed_queries, executed_symbols)``
-    where the counts cover only this chunk (per-worker totals are kept by
-    the parent).  The chunk goes through
+    Returns ``(worker_id, answers, statistics_delta)`` where the delta
+    covers only this chunk (per-worker totals are kept by the parent).  The
+    chunk goes through
     :func:`~repro.learning.query_engine.output_query_batch`, so worker-side
     deduplication and prefix subsumption apply exactly as in a serial run.
     """
@@ -233,15 +283,10 @@ def answer_words_in_worker(words: Sequence[Word]) -> Tuple[int, List[OutputWord]
     oracle = _WORKER_ORACLE
     if oracle is None:  # pragma: no cover - initializer always runs first
         raise LearningError("pool worker was not initialized with an oracle factory")
-    queries_before, symbols_before = _executed_counters(oracle)
+    before = statistics_snapshot(oracle)
     answers = output_query_batch(oracle, words)
-    queries_after, symbols_after = _executed_counters(oracle)
-    return (
-        os.getpid(),
-        [tuple(outputs) for outputs in answers],
-        queries_after - queries_before,
-        symbols_after - symbols_before,
-    )
+    delta = statistics_delta(before, statistics_snapshot(oracle))
+    return (os.getpid(), [tuple(outputs) for outputs in answers], delta)
 
 
 # ------------------------------------------------------------- the shared pool
@@ -286,6 +331,15 @@ class WorkerPool:
         self.worker_query_counts: Dict[int, int] = {}
         #: Executed symbols per pool worker, keyed by worker PID.
         self.worker_symbol_counts: Dict[int, int] = {}
+        #: Full cumulative statistics delta per pool worker, keyed by PID —
+        #: every counter of :func:`statistics_snapshot` (Polca probes/block
+        #: accesses, frontend cache hits, backend loads, ...).
+        self.worker_statistics: Dict[int, Dict[str, float]] = {}
+        #: Dataclass statistics objects worker deltas merge into on collect
+        #: (matched by field name).  The pipeline registers the parent's
+        #: ``PolcaStatistics`` here so Table 2/4 probe columns stay
+        #: worker-count-invariant instead of reading 0 under ``--workers``.
+        self.merge_targets: List[object] = []
         self._executor: Optional[ProcessPoolExecutor] = None
 
     # ------------------------------------------------------------- lifecycle
@@ -340,20 +394,36 @@ class WorkerPool:
         first.  When ``statistics`` (a
         :class:`~repro.learning.oracles.QueryStatistics`) is given, the
         chunk's worker-side executed queries and symbols are folded into its
-        ``membership_queries`` / ``membership_symbols`` — they are real
-        executions against the system under learning, so reports (Table 2/4
-        query columns) stay comparable across worker counts.
+        ``membership_queries`` / ``membership_symbols``, and the chunk's
+        *full* statistics delta is folded field-by-field into every
+        registered :attr:`merge_targets` dataclass (the pipeline registers
+        the parent's ``PolcaStatistics``) — worker executions are real
+        measurements against the system under learning, so reports (Table
+        2/4 query *and probe* columns) stay comparable across worker
+        counts.
         """
-        worker_id, worker_answers, queries, symbols = future.result()
+        worker_id, worker_answers, delta = future.result()
+        queries, symbols = _delta_queries_symbols(delta)
         self.worker_query_counts[worker_id] = (
             self.worker_query_counts.get(worker_id, 0) + queries
         )
         self.worker_symbol_counts[worker_id] = (
             self.worker_symbol_counts.get(worker_id, 0) + symbols
         )
+        accumulated = self.worker_statistics.setdefault(worker_id, {})
+        for name, value in delta.items():
+            accumulated[name] = accumulated.get(name, 0) + value
         if statistics is not None:
             statistics.membership_queries += queries
             statistics.membership_symbols += symbols
+        for target in self.merge_targets:
+            if not is_dataclass(target):  # pragma: no cover - defensive
+                continue
+            for field in fields(target):
+                if field.name in delta:
+                    setattr(
+                        target, field.name, getattr(target, field.name) + delta[field.name]
+                    )
         answers: List[OutputWord] = []
         for word, outputs in zip(words, worker_answers):
             outputs = tuple(outputs)

@@ -32,74 +32,72 @@ mandatory ``output_query(word)``:
     Answer many words in one call.  Implementations are expected to dedupe
     and prefix-subsume before touching the system under learning.
 
-``output_query_resume(prefix, suffix)``
+``output_query_resume(prefix, suffix, prefix_outputs=None)``
     Answer ``prefix + suffix`` while only *executing* ``suffix``, resuming
     from the state reached by ``prefix`` (the oracle must have answered a
-    word extending ``prefix`` before).  Only meaningful for oracles whose
-    backend keeps sessions alive (simulated machines here; resumable
-    hardware sessions are an open ROADMAP item).  Oracles advertise the
-    capability with a truthy ``supports_resume`` attribute.
+    word extending ``prefix`` before).  ``prefix_outputs`` is the caller's
+    cached answer for ``prefix``: machine-backed oracles ignore it (they
+    recompute their state directly), while measurement-backed oracles
+    (Polca with ``resume=True``) rebuild their resume state from it without
+    touching the system under learning.  Oracles advertise the capability
+    with a truthy ``supports_resume`` attribute.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Hashable, List, Optional, Sequence, Tuple
 
-from repro.errors import NonDeterminismError
+from repro.core.alphabet import EVICT, Evict, Line
+from repro.store import PrefixStore, register_symbol_codec
 
 Input = Hashable
 Output = Hashable
 Word = Tuple[Input, ...]
 OutputWord = Tuple[Output, ...]
 
+#: Namespace key the learning trie uses when none is given explicitly.
+DEFAULT_LEARNING_NAMESPACE = ("learning",)
 
-class _TrieNode:
-    """One node of the response trie: the output of the edge reaching it."""
-
-    __slots__ = ("children", "output")
-
-    def __init__(self) -> None:
-        self.children: Dict[Input, "_TrieNode"] = {}
-        self.output: Optional[Output] = None
+# Teach the shared store codec to persist policy-input symbols, so a
+# learning trie living in a path-backed PrefixStore survives across runs
+# (the --cache-path flag of the experiment CLI).
+register_symbol_codec("Ln", Line, lambda s: str(s.index), lambda t: Line(int(t)))
+register_symbol_codec("Ev", Evict, lambda s: "", lambda t: EVICT)
 
 
 class ResponseTrie:
     """A prefix tree mapping input words to output words.
 
-    Unlike a per-word dictionary, the trie shares the storage of common
-    prefixes structurally: caching the answer of ``u·v`` caches the answer
-    of every prefix of ``u·v`` in the same O(|u·v|) nodes.
+    Since PR 5 this is a thin learning-flavoured view over a
+    :class:`~repro.store.PrefixStore` namespace — the same substrate the
+    CacheQuery frontend's ``QueryCache`` uses — so one store instance (and
+    one on-disk file) can back both caching stacks.  The semantics are
+    unchanged: caching the answer of ``u·v`` caches the answer of every
+    prefix of ``u·v`` in the same O(|u·v|) nodes, and inserting an answer
+    that disagrees with a stored prefix raises
+    :class:`~repro.errors.NonDeterminismError`.
     """
 
-    def __init__(self) -> None:
-        self._root = _TrieNode()
-        self._size = 0  # number of nodes below the root == cached prefixes
+    def __init__(
+        self,
+        store: Optional[PrefixStore] = None,
+        namespace: Sequence[Hashable] = DEFAULT_LEARNING_NAMESPACE,
+    ) -> None:
+        self.store = store if store is not None else PrefixStore()
+        self._namespace = self.store.namespace(namespace)
 
     def __len__(self) -> int:
-        return self._size
+        return self._namespace.node_count
 
     def lookup(self, word: Sequence[Input]) -> Optional[OutputWord]:
         """Return the cached output word for ``word``, or ``None``."""
-        node = self._root
-        outputs: List[Output] = []
-        for symbol in word:
-            node = node.children.get(symbol)
-            if node is None:
-                return None
-            outputs.append(node.output)
-        return tuple(outputs)
+        if not word:
+            return ()
+        return self._namespace.lookup(word)
 
     def longest_cached_prefix(self, word: Sequence[Input]) -> Tuple[int, OutputWord]:
         """Return ``(k, outputs)`` for the longest cached prefix ``word[:k]``."""
-        node = self._root
-        outputs: List[Output] = []
-        for symbol in word:
-            child = node.children.get(symbol)
-            if child is None:
-                break
-            outputs.append(child.output)
-            node = child
-        return len(outputs), tuple(outputs)
+        return self._namespace.lookup_prefix(word)
 
     def insert(self, word: Sequence[Input], outputs: Sequence[Output]) -> None:
         """Store ``outputs`` for ``word`` (and thereby for all its prefixes).
@@ -115,26 +113,11 @@ class ResponseTrie:
                 f"word of length {len(word)} needs exactly {len(word)} outputs, "
                 f"got {len(outputs)}"
             )
-        node = self._root
-        for position, symbol in enumerate(word):
-            child = node.children.get(symbol)
-            if child is None:
-                child = _TrieNode()
-                child.output = outputs[position]
-                node.children[symbol] = child
-                self._size += 1
-            elif child.output != outputs[position]:
-                raise NonDeterminismError(
-                    word[: position + 1],
-                    self.longest_cached_prefix(word[: position + 1])[1],
-                    outputs[: position + 1],
-                )
-            node = child
+        self._namespace.record(word, outputs, terminal=False)
 
     def clear(self) -> None:
         """Drop every cached response."""
-        self._root = _TrieNode()
-        self._size = 0
+        self._namespace.clear()
 
 
 def dedupe_and_subsume(words: Sequence[Sequence[Input]]) -> List[Word]:

@@ -49,17 +49,54 @@ class PolcaStatistics:
     policy_symbols: int = 0
     cache_probes: int = 0
     block_accesses: int = 0
+    #: Measurement sessions opened on the cache interface (``resume=True``).
+    sessions_opened: int = 0
+    #: Incremental session extensions (each replaces a full replay probe).
+    session_extends: int = 0
+    #: Policy symbols answered from cached prefixes without re-executing them.
+    resumed_symbols: int = 0
 
     def record_probe(self, length: int) -> None:
         """Record one probe of ``length`` block accesses."""
         self.cache_probes += 1
         self.block_accesses += length
 
+    def record_extend(self, length: int) -> None:
+        """Record one session extension of ``length`` block accesses."""
+        self.session_extends += 1
+        self.block_accesses += length
+
+
+def supports_sessions(cache) -> bool:
+    """True when ``cache`` implements the measurement-session extension."""
+    return bool(getattr(cache, "supports_sessions", False)) and all(
+        callable(getattr(cache, name, None))
+        for name in ("open_session", "extend", "close_session")
+    )
+
 
 class PolcaMembershipOracle:
-    """A policy-level membership/output oracle built on a cache interface."""
+    """A policy-level membership/output oracle built on a cache interface.
 
-    def __init__(self, cache: CacheProbeInterface) -> None:
+    With ``resume=True`` the oracle advertises the learning stack's resume
+    protocol (``supports_resume`` / :meth:`output_query_resume`): the query
+    engine then executes only the un-cached *suffix* of each word,
+    reconstructing Polca's state after the cached prefix purely from the
+    prefix's recorded outputs — no probe ever re-derives what the cache
+    already answered.  When the interface additionally implements
+    measurement sessions (``supports_sessions`` — both the simulated
+    interface and CacheQuery do), the Hit-chain of Algorithm 1 runs
+    incrementally through one open session instead of replaying the whole
+    access chain per symbol; ``findEvicted``'s diverging probes still
+    replay, and the session is re-anchored afterwards.
+
+    ``resume`` changes which measurements execute (strictly fewer), so
+    serial and process-parallel runs only report identical probe counters
+    when both use the same setting; the pipeline keeps it off for parallel
+    runs (a session is inherently a serial, stateful object).
+    """
+
+    def __init__(self, cache: CacheProbeInterface, *, resume: bool = False) -> None:
         self.cache = cache
         self.associativity = cache.associativity
         if self.associativity < 1:
@@ -74,7 +111,14 @@ class PolcaMembershipOracle:
             raise PolicyError(
                 "the block universe must contain more blocks than the associativity"
             )
+        self.resume = bool(resume)
+        self._use_sessions = self.resume and supports_sessions(cache)
         self.statistics = PolcaStatistics()
+
+    @property
+    def supports_resume(self) -> bool:
+        """Advertised to the query engine (see :mod:`repro.learning.query_engine`)."""
+        return self.resume
 
     # ------------------------------------------------------------ primitives
 
@@ -135,26 +179,111 @@ class PolcaMembershipOracle:
         word = tuple(word)
         self.statistics.policy_queries += 1
         self.statistics.policy_symbols += len(word)
+        return self._run_symbols(word, list(self._initial_content), [])
 
+    def output_query_resume(
+        self,
+        prefix: Sequence[PolicyInput],
+        suffix: Sequence[PolicyInput],
+        prefix_outputs: Optional[Sequence[PolicyOutput]] = None,
+    ) -> Tuple[PolicyOutput, ...]:
+        """Answer ``prefix + suffix`` executing only ``suffix``'s measurements.
+
+        ``prefix_outputs`` — the caller's cached answer for ``prefix`` —
+        lets Polca reconstruct its state (cache content and access chain)
+        after the prefix *symbolically*: each output says which line the
+        access filled, so no probe touches the system for the resumed part.
+        The query engine always provides it; calling without it is an error
+        because Polca, unlike a machine-backed oracle, cannot re-derive the
+        state without re-measuring the prefix.
+        """
+        prefix = tuple(prefix)
+        suffix = tuple(suffix)
+        if prefix_outputs is None:
+            raise LearningError(
+                "Polca resume needs the cached prefix outputs to reconstruct "
+                "its state (pass prefix_outputs)"
+            )
+        prefix_outputs = tuple(prefix_outputs)
+        if len(prefix_outputs) != len(prefix):
+            raise LearningError(
+                f"resume prefix of length {len(prefix)} needs exactly "
+                f"{len(prefix)} outputs, got {len(prefix_outputs)}"
+            )
         content: List[Block] = list(self._initial_content)
         accesses: List[Block] = []
-        outputs: List[PolicyOutput] = []
-
-        for symbol in word:
+        for symbol, output in zip(prefix, prefix_outputs):
             block = self._map_input(symbol, content)
             accesses.append(block)
-            outcome = self._probe_last(accesses)
-            if isinstance(symbol, Line) and outcome != HIT:
-                # Polca believes the block is cached, the cache disagrees: the
-                # reset sequence is broken or the cache is not deterministic.
-                raise NonDeterminismError(tuple(accesses), (HIT,), (outcome,))
-            if outcome == HIT:
-                outputs.append(MISS_OUTPUT)
-                continue
-            evicted = self._find_evicted(accesses, content)
-            content[evicted] = block
-            outputs.append(evicted)
+            if output != MISS_OUTPUT:
+                content[output] = block
+        self.statistics.policy_queries += 1
+        self.statistics.policy_symbols += len(suffix)
+        self.statistics.resumed_symbols += len(prefix)
+        return self._run_symbols(suffix, content, accesses)
+
+    def _run_symbols(
+        self,
+        symbols: Sequence[PolicyInput],
+        content: List[Block],
+        accesses: List[Block],
+    ) -> Tuple[PolicyOutput, ...]:
+        """The main loop of Algorithm 1, from an arbitrary reconstructed state.
+
+        Without sessions each step's outcome comes from a full replay probe
+        of the access chain; with sessions the Hit-chain extends one open
+        session incrementally, and only ``findEvicted``'s diverging probes
+        (which trash the live state, on hardware and simulator alike) force
+        a re-anchoring replay.
+        """
+        outputs: List[PolicyOutput] = []
+        session_live = self._use_sessions and self._session_anchor(accesses)
+        try:
+            for symbol in symbols:
+                block = self._map_input(symbol, content)
+                accesses.append(block)
+                if session_live:
+                    extended = self.cache.extend((block,))
+                    if len(extended) != 1:
+                        raise LearningError(
+                            "cache interface returned a truncated session extension"
+                        )
+                    self.statistics.record_extend(1)
+                    outcome = extended[0]
+                else:
+                    outcome = self._probe_last(accesses)
+                if isinstance(symbol, Line) and outcome != HIT:
+                    # Polca believes the block is cached, the cache disagrees:
+                    # the reset sequence is broken or the cache is not
+                    # deterministic.
+                    raise NonDeterminismError(tuple(accesses), (HIT,), (outcome,))
+                if outcome == HIT:
+                    outputs.append(MISS_OUTPUT)
+                    continue
+                evicted = self._find_evicted(accesses, content)
+                content[evicted] = block
+                outputs.append(evicted)
+                if session_live:
+                    # findEvicted's probes reset the underlying set, so the
+                    # open session no longer reflects the access chain.
+                    session_live = self._session_anchor(accesses)
+        finally:
+            if self._use_sessions:
+                self.cache.close_session()
         return tuple(outputs)
+
+    def _session_anchor(self, accesses: Sequence[Block]) -> bool:
+        """(Re-)open a measurement session and replay the access chain into it."""
+        self.cache.open_session()
+        self.statistics.sessions_opened += 1
+        if accesses:
+            outcomes = self.cache.extend(tuple(accesses))
+            self.statistics.record_extend(len(accesses))
+            if len(outcomes) != len(accesses):
+                raise LearningError(
+                    "cache interface returned a truncated session replay"
+                )
+        return True
 
     def output_query_batch(
         self, words: Sequence[Sequence[PolicyInput]]

@@ -100,6 +100,8 @@ class SimulatedCacheInterface:
         self._initial = universe[: self.associativity]
         self._cache = SimulatedCacheSet(policy, initial_content=self._initial)
 
+    supports_sessions = True
+
     def initial_blocks(self) -> Tuple[Block, ...]:
         return self._initial
 
@@ -108,6 +110,23 @@ class SimulatedCacheInterface:
 
     def probe(self, blocks: Sequence[Block]) -> Tuple[str, ...]:
         return self._cache.probe(blocks)
+
+    def store_namespace(self) -> Tuple[object, ...]:
+        """Namespace key identifying this target inside a shared prefix store."""
+        return ("simulated", str(self.policy.name), self.associativity)
+
+    # ----------------------------------------------------- measurement session
+
+    def open_session(self) -> None:
+        """Reset the cache and keep it live for incremental :meth:`extend` calls."""
+        self._cache.begin_session()
+
+    def extend(self, blocks: Sequence[Block]) -> Tuple[str, ...]:
+        """Access ``blocks`` from the session's current state; return the outcomes."""
+        return self._cache.session_access(blocks)
+
+    def close_session(self) -> None:
+        """End the measurement session (stateless for the simulator)."""
 
     # ------------------------------------------------------------- statistics
 
@@ -120,6 +139,11 @@ class SimulatedCacheInterface:
     def access_count(self) -> int:
         """Total number of individual block accesses issued so far."""
         return self._cache.access_count
+
+    @property
+    def sessions_opened(self) -> int:
+        """Number of measurement sessions opened so far."""
+        return self._cache.sessions_opened
 
     def reset_statistics(self) -> None:
         """Zero the probe/access counters."""

@@ -98,7 +98,16 @@ class PolicyLearningPipeline:
         batch_size: int = 64,
         workers: Optional[int] = None,
         oracle_factory: Optional[OracleFactory] = None,
+        resume: bool = False,
+        store=None,
     ) -> None:
+        if resume and workers is not None and workers > 1:
+            raise LearningError(
+                "resume sessions are stateful and inherently serial; they also "
+                "change which measurements execute, so probe columns would no "
+                "longer be worker-count-invariant — use resume=True or "
+                "workers>1, not both"
+            )
         self.cache = cache
         self.depth = depth
         self.method = method
@@ -109,6 +118,18 @@ class PolicyLearningPipeline:
         self.batch_size = batch_size
         self.workers = workers
         self.oracle_factory = oracle_factory
+        self.resume = resume
+        #: Optional shared :class:`~repro.store.PrefixStore` the query
+        #: engine's trie lives in — pass the same instance backing the
+        #: frontend's ``QueryCache`` (and/or a path-backed store) so one
+        #: file persists the whole measurement state of a run.
+        self.store = store
+
+    def _engine_namespace(self) -> Sequence[object]:
+        """Namespace key of the learning trie inside a shared store."""
+        derive = getattr(self.cache, "store_namespace", None)
+        target = tuple(derive()) if callable(derive) else ()
+        return ("learning",) + target
 
     def run(self) -> PolicyLearningReport:
         """Learn the policy of the configured cache interface.
@@ -119,8 +140,10 @@ class PolicyLearningPipeline:
         interface twice.
         """
         start = time.perf_counter()
-        polca = PolcaMembershipOracle(self.cache)
-        engine = CachedMembershipOracle(polca)
+        polca = PolcaMembershipOracle(self.cache, resume=self.resume)
+        engine = CachedMembershipOracle(
+            polca, store=self.store, namespace=self._engine_namespace()
+        )
         parallel = self.workers is not None and self.workers > 1
         pool = None
         if parallel:
@@ -130,6 +153,10 @@ class PolicyLearningPipeline:
             # One pool serves both the observation-table fill and the
             # conformance tester; its per-worker accounting covers the run.
             pool = WorkerPool(factory, self.workers)
+            # Worker-side Polca probe/hit deltas fold into the parent's
+            # statistics on collect, so Table 2/4 probe columns are
+            # worker-count-invariant instead of reading 0 under --workers.
+            pool.merge_targets.append(polca.statistics)
         equivalence = ConformanceEquivalenceOracle(
             engine,
             depth=self.depth,
@@ -165,6 +192,14 @@ class PolicyLearningPipeline:
             "tests_skipped": result.statistics.tests_skipped,
             "cached_prefixes": engine.size,
         }
+        if self.resume:
+            extra["resume"] = True
+            extra["resumed_symbols"] = result.statistics.resumed_symbols
+            extra["polca_resumed_symbols"] = polca.statistics.resumed_symbols
+            extra["sessions_opened"] = polca.statistics.sessions_opened
+            extra["session_extends"] = polca.statistics.session_extends
+        if self.store is not None:
+            extra["store"] = self.store.statistics()
         if parallel:
             extra["workers"] = self.workers
             extra["parallel_chunks"] = result.statistics.parallel_chunks
@@ -172,6 +207,9 @@ class PolicyLearningPipeline:
             extra["peak_inflight_words"] = equivalence.peak_inflight_words
             extra["worker_query_counts"] = dict(pool.worker_query_counts)
             extra["worker_symbol_counts"] = dict(pool.worker_symbol_counts)
+            extra["worker_statistics"] = {
+                pid: dict(counters) for pid, counters in pool.worker_statistics.items()
+            }
         return PolicyLearningReport(
             machine=machine,
             learning_result=result,

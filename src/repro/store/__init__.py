@@ -1,0 +1,33 @@
+"""Shared prefix-trie storage: the substrate under every response cache.
+
+Public surface:
+
+* :class:`~repro.store.prefix_store.PrefixStore` /
+  :class:`~repro.store.prefix_store.PrefixNamespace` — the namespaced
+  symbol-keyed trie both the learning engine's ``ResponseTrie`` and the
+  CacheQuery frontend's ``QueryCache`` are views over;
+* the codec helpers of :mod:`repro.store.codec` — versioned atomic
+  persistence with corruption diagnostics and the symbol registry for
+  non-string trie symbols.
+"""
+
+from repro.store.codec import (
+    STORE_FORMAT,
+    STORE_VERSION,
+    decode_symbol,
+    encode_symbol,
+    is_store_document,
+    register_symbol_codec,
+)
+from repro.store.prefix_store import PrefixNamespace, PrefixStore
+
+__all__ = [
+    "PrefixNamespace",
+    "PrefixStore",
+    "STORE_FORMAT",
+    "STORE_VERSION",
+    "decode_symbol",
+    "encode_symbol",
+    "is_store_document",
+    "register_symbol_codec",
+]

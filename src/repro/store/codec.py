@@ -1,0 +1,275 @@
+"""Versioned on-disk codec for :class:`~repro.store.prefix_store.PrefixStore`.
+
+Format (version 1) — one JSON document::
+
+    {
+      "format": "repro-prefix-store",
+      "version": 1,
+      "namespaces": [
+        {"key": ["mbl", "L2", 0, 63], "trie": <node>},
+        ...
+      ]
+    }
+
+where ``<node>`` is the compact recursive encoding
+``[payload, {symbol: <node>, ...}]`` with a third element ``1`` appended
+for terminal nodes (explicitly recorded entries).  Compared to the legacy
+flat ``QueryCache`` JSON (one object carrying the *full* query text per
+entry), shared prefixes are stored once — deep batch sweeps whose queries
+all start with the same reset sequence shrink superlinearly
+(``benchmarks/bench_store_persistence.py`` measures it).
+
+Robustness:
+
+* **atomic writes** — the document is written to a same-directory
+  temporary file and :func:`os.replace`'d over the target, so a killed run
+  leaves either the old file or the new one, never a torn hybrid;
+* **corruption diagnostics** — unreadable, truncated or structurally
+  malformed files raise :class:`~repro.errors.StoreCorruptionError` naming
+  the file and the problem; files written by a newer codec version are
+  rejected with an upgrade hint instead of being half-parsed;
+* **symbol registry** — trie children are keyed by JSON object keys, i.e.
+  strings.  Plain string symbols are stored as-is; any other symbol type
+  must be registered via :func:`register_symbol_codec` (the learning stack
+  registers its policy-input symbols in
+  :mod:`repro.learning.query_engine`).  Encoded symbols are marked with a
+  ``\\x01`` sentinel byte that cannot collide with MBL block names.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Callable, Dict, Hashable, Tuple
+
+from repro.errors import StoreCorruptionError, StoreError
+
+STORE_FORMAT = "repro-prefix-store"
+STORE_VERSION = 1
+
+#: Sentinel prefix marking a registry-encoded (non-plain-string) symbol.
+_ENCODED = "\x01"
+
+#: tag -> (type, encode, decode); see :func:`register_symbol_codec`.
+_SYMBOL_CODECS: Dict[str, Tuple[type, Callable, Callable]] = {}
+_SYMBOL_TAG_BY_TYPE: Dict[type, str] = {}
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def register_symbol_codec(
+    tag: str,
+    symbol_type: type,
+    encode: Callable[[Hashable], str],
+    decode: Callable[[str], Hashable],
+) -> None:
+    """Teach the codec to persist symbols of ``symbol_type``.
+
+    ``encode`` must render the symbol to a string ``decode`` round-trips.
+    Registering the same tag twice for the same type is a no-op; a tag
+    collision between different types raises :class:`~repro.errors.StoreError`.
+    """
+    existing = _SYMBOL_CODECS.get(tag)
+    if existing is not None and existing[0] is not symbol_type:
+        raise StoreError(
+            f"symbol codec tag {tag!r} is already registered for "
+            f"{existing[0].__name__}"
+        )
+    _SYMBOL_CODECS[tag] = (symbol_type, encode, decode)
+    _SYMBOL_TAG_BY_TYPE[symbol_type] = tag
+
+
+def encode_symbol(symbol: Hashable) -> str:
+    """Render a trie symbol as a JSON object key."""
+    if isinstance(symbol, str):
+        if symbol.startswith(_ENCODED):  # defensive: escape the sentinel
+            return f"{_ENCODED}s:{symbol[1:]}"
+        return symbol
+    if isinstance(symbol, bool):  # bool before int: bool is an int subclass
+        return f"{_ENCODED}b:{int(symbol)}"
+    if isinstance(symbol, int):
+        return f"{_ENCODED}i:{symbol}"
+    tag = _SYMBOL_TAG_BY_TYPE.get(type(symbol))
+    if tag is None:
+        raise StoreError(
+            f"cannot persist trie symbol {symbol!r} of type "
+            f"{type(symbol).__name__}: register a symbol codec first "
+            "(see repro.store.codec.register_symbol_codec)"
+        )
+    return f"{_ENCODED}{tag}:{_SYMBOL_CODECS[tag][1](symbol)}"
+
+
+def decode_symbol(text: str) -> Hashable:
+    """Invert :func:`encode_symbol`."""
+    if not text.startswith(_ENCODED):
+        return text
+    tag, _, payload = text[1:].partition(":")
+    if tag == "s":
+        return _ENCODED + payload
+    if tag == "b":
+        return bool(int(payload))
+    if tag == "i":
+        return int(payload)
+    codec = _SYMBOL_CODECS.get(tag)
+    if codec is None:
+        raise StoreCorruptionError(
+            f"store file uses unknown symbol codec tag {tag!r}; the writing "
+            "process registered a codec this process has not imported"
+        )
+    return codec[2](payload)
+
+
+# ----------------------------------------------------------------- encoding
+
+
+def _encode_node(node) -> list:
+    children = {
+        encode_symbol(symbol): _encode_node(child)
+        for symbol, child in node.children.items()
+    }
+    payload = node.payload
+    if payload is not None and not isinstance(payload, _SCALARS):
+        raise StoreError(
+            f"cannot persist trie payload {payload!r} of type "
+            f"{type(payload).__name__}: payloads must be JSON scalars"
+        )
+    encoded = [payload, children]
+    if node.terminal:
+        encoded.append(1)
+    return encoded
+
+
+def _encode_namespace_key(key) -> list:
+    for part in key:
+        if not isinstance(part, _SCALARS):
+            raise StoreError(
+                f"cannot persist namespace key part {part!r} of type "
+                f"{type(part).__name__}: keys must be tuples of JSON scalars"
+            )
+    return list(key)
+
+
+def encode_store(store) -> dict:
+    """Render a :class:`~repro.store.prefix_store.PrefixStore` as a JSON document."""
+    return {
+        "format": STORE_FORMAT,
+        "version": STORE_VERSION,
+        "namespaces": [
+            {"key": _encode_namespace_key(namespace.key), "trie": _encode_node(namespace._root)}
+            for namespace in (store._namespaces[key] for key in store.namespaces())
+        ],
+    }
+
+
+def save_store_file(path: Path, store) -> None:
+    """Atomically serialise ``store`` to ``path`` (same-directory tmp + replace)."""
+    document = json.dumps(encode_store(store), separators=(",", ":"))
+    temporary = path.parent / f".{path.name}.tmp.{os.getpid()}"
+    try:
+        temporary.write_text(document)
+        os.replace(temporary, path)
+    finally:
+        if temporary.exists():  # pragma: no cover - only on a failed replace
+            temporary.unlink()
+
+
+# ----------------------------------------------------------------- decoding
+
+
+def is_store_document(raw: object) -> bool:
+    """True when parsed JSON looks like a native store document."""
+    return isinstance(raw, dict) and raw.get("format") == STORE_FORMAT
+
+
+def _corrupt(path: Path, problem: str) -> StoreCorruptionError:
+    return StoreCorruptionError(
+        f"prefix store file {path} is corrupted: {problem}; delete it to "
+        "start with an empty store"
+    )
+
+
+def _decode_node(path: Path, namespace, node, depth: int, encoded) -> None:
+    """Merge one encoded node (and its subtree) into the live ``node``.
+
+    Works directly on the trie nodes (no per-node root walk), so reloading
+    a store is linear in its node count.
+    """
+    from repro.store.prefix_store import _StoreNode
+
+    if (
+        not isinstance(encoded, list)
+        or len(encoded) not in (2, 3)
+        or not isinstance(encoded[1], dict)
+    ):
+        raise _corrupt(path, f"malformed trie node at depth {depth}")
+    payload, children = encoded[0], encoded[1]
+    if payload is not None and not isinstance(payload, _SCALARS):
+        raise _corrupt(path, f"non-scalar payload at depth {depth}")
+    if payload is not None:
+        if node.payload is None:
+            node.payload = payload
+        elif node.payload != payload:
+            raise _corrupt(
+                path,
+                f"payload conflict at depth {depth}: {node.payload!r} vs {payload!r}",
+            )
+    if len(encoded) == 3 and not node.terminal:
+        node.terminal = True
+        namespace._entries += 1
+    for symbol_text, child_encoded in children.items():
+        symbol = decode_symbol(symbol_text)
+        child = node.children.get(symbol)
+        if child is None:
+            child = _StoreNode()
+            node.children[symbol] = child
+            namespace._nodes += 1
+        _decode_node(path, namespace, child, depth + 1, child_encoded)
+
+
+def load_store_document(path: Path, raw: dict, store) -> None:
+    """Populate ``store`` from a parsed native document (structure-checked)."""
+    version = raw.get("version")
+    if not isinstance(version, int):
+        raise _corrupt(path, f"missing or non-integer version field ({version!r})")
+    if version > STORE_VERSION:
+        raise StoreCorruptionError(
+            f"prefix store file {path} has format version {version}, but this "
+            f"build reads up to version {STORE_VERSION}; upgrade the library "
+            "or delete the file"
+        )
+    namespaces = raw.get("namespaces")
+    if not isinstance(namespaces, list):
+        raise _corrupt(path, "missing or malformed namespaces list")
+    for index, entry in enumerate(namespaces):
+        if not isinstance(entry, dict) or "key" not in entry or "trie" not in entry:
+            raise _corrupt(path, f"malformed namespace entry {index}")
+        key = entry["key"]
+        if not isinstance(key, list):
+            raise _corrupt(path, f"malformed namespace key at entry {index}")
+        namespace = store.namespace(tuple(key))
+        _decode_node(path, namespace, namespace._root, 0, entry["trie"])
+
+
+def load_store_file(path: Path, store) -> None:
+    """Load ``path`` into ``store``; raise :class:`StoreCorruptionError` on damage.
+
+    Nothing is partially loaded: when loading fails the store is returned
+    to the namespaces it held before the call.
+    """
+    try:
+        raw = json.loads(path.read_text())
+    except (OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise StoreCorruptionError(
+            f"prefix store file {path} is unreadable or corrupted ({exc}); "
+            "delete it to start with an empty store"
+        ) from exc
+    if not is_store_document(raw):
+        raise _corrupt(path, "not a repro-prefix-store document")
+    snapshot = dict(store._namespaces)
+    try:
+        load_store_document(path, raw, store)
+    except Exception:
+        store._namespaces.clear()
+        store._namespaces.update(snapshot)
+        raise

@@ -1,0 +1,335 @@
+"""The shared prefix store: one trie substrate under every response cache.
+
+Before this module existed the repository kept **two disjoint caches** for
+the same underlying measurements: the learning side's ``ResponseTrie``
+(prefix-sharing, in-memory only) and the CacheQuery frontend's
+``QueryCache`` (flat dict keyed by full query text, JSON persistence, no
+prefix sharing).  :class:`PrefixStore` is the substrate both are now thin
+views over:
+
+* a **symbol-keyed trie** per namespace — recording the answer of a word
+  records the answer of every prefix in the same O(|word|) nodes, and
+  looking up a word that is a prefix of a previously recorded word is a
+  hit without ever having executed it;
+* **per-target namespaces** — one store holds many independent tries keyed
+  by tuples such as ``("mbl", level, slice, set)`` (the frontend's response
+  cache for one hardware cache set) or ``("learning", policy, assoc)``
+  (the learning engine's trie), so one file can back a whole sweep;
+* **partial payloads** — a node's payload may be unknown (``None``).  The
+  frontend uses this for un-profiled accesses: the access is part of the
+  state-determining path but no measurement exists for it.  Recording fills
+  unknown payloads in and raises
+  :class:`~repro.errors.NonDeterminismError` when a known payload
+  disagrees — the same broken-reset detection the learning trie performs
+  (paper Section 7.1);
+* a **versioned on-disk codec** with atomic writes and corruption
+  diagnostics (see :mod:`repro.store.codec`).
+
+The store is deliberately generic: symbols are hashable keys (strings
+persist natively; other types persist through the codec's symbol registry),
+payloads are JSON scalars, and no learning- or MBL-specific logic lives
+here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import NonDeterminismError, StoreError
+
+Symbol = Hashable
+Payload = Optional[Hashable]
+Word = Tuple[Symbol, ...]
+NamespaceKey = Tuple[Hashable, ...]
+
+
+class _StoreNode:
+    """One trie node: the payload of the edge reaching it plus its children."""
+
+    __slots__ = ("children", "payload", "terminal")
+
+    def __init__(self) -> None:
+        self.children: Dict[Symbol, "_StoreNode"] = {}
+        self.payload: Payload = None
+        #: True when a word *ending* here was explicitly recorded as an entry
+        #: (used for entry counting and :meth:`PrefixNamespace.iter_entries`).
+        self.terminal = False
+
+
+def _subtree_counts(node: _StoreNode) -> Tuple[int, int]:
+    """Return ``(nodes, terminal_entries)`` of the subtree rooted at ``node``,
+    the root node included."""
+    nodes = 0
+    entries = 0
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        nodes += 1
+        if current.terminal:
+            entries += 1
+        stack.extend(current.children.values())
+    return nodes, entries
+
+
+class PrefixNamespace:
+    """One independent trie of a :class:`PrefixStore` (one cache target)."""
+
+    def __init__(self, key: NamespaceKey) -> None:
+        self.key = key
+        self._root = _StoreNode()
+        self._nodes = 0
+        self._entries = 0
+
+    # ------------------------------------------------------------------ sizes
+
+    @property
+    def node_count(self) -> int:
+        """Number of trie nodes below the root (== distinct stored prefixes)."""
+        return self._nodes
+
+    @property
+    def entry_count(self) -> int:
+        """Number of words explicitly recorded as entries (terminal marks)."""
+        return self._entries
+
+    def __len__(self) -> int:
+        return self._nodes
+
+    # ---------------------------------------------------------------- lookups
+
+    def _walk(self, word: Sequence[Symbol]) -> Optional[_StoreNode]:
+        node = self._root
+        for symbol in word:
+            node = node.children.get(symbol)
+            if node is None:
+                return None
+        return node
+
+    def lookup(self, word: Sequence[Symbol]) -> Optional[Tuple[Payload, ...]]:
+        """Return the payloads along ``word``, or ``None`` when the path is unknown.
+
+        The returned tuple may contain ``None`` holes for positions whose
+        payload was never recorded (e.g. un-profiled accesses); callers that
+        need specific positions check them.  The empty word is only
+        answered (with ``()``) after it has been recorded as an entry.
+        """
+        node = self._root
+        payloads: List[Payload] = []
+        for symbol in word:
+            node = node.children.get(symbol)
+            if node is None:
+                return None
+            payloads.append(node.payload)
+        if not payloads and not node.terminal:
+            return None
+        return tuple(payloads)
+
+    def lookup_prefix(self, word: Sequence[Symbol]) -> Tuple[int, Tuple[Payload, ...]]:
+        """Return ``(k, payloads)`` for the longest stored prefix ``word[:k]``."""
+        node = self._root
+        payloads: List[Payload] = []
+        for symbol in word:
+            child = node.children.get(symbol)
+            if child is None:
+                break
+            payloads.append(child.payload)
+            node = child
+        return len(payloads), tuple(payloads)
+
+    def covers(self, word: Sequence[Symbol]) -> bool:
+        """True when ``word`` is a prefix of (or equal to) a stored path."""
+        return self._walk(word) is not None
+
+    # --------------------------------------------------------------- recording
+
+    def record(
+        self,
+        word: Sequence[Symbol],
+        payloads: Optional[Sequence[Payload]] = None,
+        *,
+        terminal: bool = True,
+    ) -> bool:
+        """Store ``payloads`` along ``word``; return whether the entry is new.
+
+        ``payloads`` may be omitted (pure membership marking) or contain
+        ``None`` holes; known payloads merge with stored ones.  A known
+        payload that disagrees with a stored one raises
+        :class:`~repro.errors.NonDeterminismError` carrying the conflicting
+        prefix — the system under measurement answered the same prefix
+        differently across runs.
+        """
+        word = tuple(word)
+        if payloads is None:
+            payloads = (None,) * len(word)
+        else:
+            payloads = tuple(payloads)
+            if len(payloads) != len(word):
+                raise StoreError(
+                    f"word of length {len(word)} needs exactly {len(word)} "
+                    f"payloads, got {len(payloads)}"
+                )
+        node = self._root
+        stored: List[Payload] = []
+        for position, symbol in enumerate(word):
+            child = node.children.get(symbol)
+            if child is None:
+                child = _StoreNode()
+                child.payload = payloads[position]
+                node.children[symbol] = child
+                self._nodes += 1
+            elif payloads[position] is not None:
+                if child.payload is None:
+                    child.payload = payloads[position]
+                elif child.payload != payloads[position]:
+                    raise NonDeterminismError(
+                        word[: position + 1],
+                        stored + [child.payload],
+                        payloads[: position + 1],
+                    )
+            stored.append(child.payload)
+            node = child
+        new_entry = terminal and not node.terminal
+        if new_entry:
+            node.terminal = True
+            self._entries += 1
+        return new_entry
+
+    # --------------------------------------------------------------- merging
+
+    def merge(self, other: "PrefixNamespace") -> None:
+        """Merge another namespace's trie into this one.
+
+        Subtrees absent here are grafted wholesale (``other`` must be
+        discarded afterwards — its nodes are shared, not copied); shared
+        paths merge payloads with the usual conflict rule: a known payload
+        that disagrees raises :class:`~repro.errors.NonDeterminismError`.
+        This is the staging primitive behind all-or-nothing file loading:
+        decode into a scratch namespace first, merge only on full success.
+        """
+        stack: List[Tuple[_StoreNode, _StoreNode, Word]] = [(self._root, other._root, ())]
+        while stack:
+            mine, theirs, prefix = stack.pop()
+            if theirs.terminal and not mine.terminal:
+                mine.terminal = True
+                self._entries += 1
+            for symbol, their_child in theirs.children.items():
+                word = prefix + (symbol,)
+                my_child = mine.children.get(symbol)
+                if my_child is None:
+                    mine.children[symbol] = their_child
+                    nodes, entries = _subtree_counts(their_child)
+                    self._nodes += nodes
+                    self._entries += entries
+                    continue
+                if their_child.payload is not None:
+                    if my_child.payload is None:
+                        my_child.payload = their_child.payload
+                    elif my_child.payload != their_child.payload:
+                        raise NonDeterminismError(
+                            word, (my_child.payload,), (their_child.payload,)
+                        )
+                stack.append((my_child, their_child, word))
+
+    # -------------------------------------------------------------- iteration
+
+    def iter_entries(self) -> Iterator[Tuple[Word, Tuple[Payload, ...]]]:
+        """Yield every recorded entry as ``(word, payloads)``, in trie order."""
+        stack: List[Tuple[_StoreNode, Word, Tuple[Payload, ...]]] = [(self._root, (), ())]
+        while stack:
+            node, word, payloads = stack.pop()
+            if node.terminal:
+                yield word, payloads
+            for symbol in sorted(node.children, key=repr, reverse=True):
+                child = node.children[symbol]
+                stack.append((child, word + (symbol,), payloads + (child.payload,)))
+
+    def clear(self) -> None:
+        """Drop every stored path and entry."""
+        self._root = _StoreNode()
+        self._nodes = 0
+        self._entries = 0
+
+
+class PrefixStore:
+    """A namespaced collection of prefix tries with optional persistence.
+
+    ``PrefixStore(path)`` loads the file when it exists (accepting both the
+    native codec format and, for callers that route through
+    :class:`~repro.cachequery.querycache.QueryCache`, legacy flat-JSON
+    caches via migration); :meth:`save` writes the whole store back
+    atomically.  A store without a path is purely in-memory.
+    """
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        from pathlib import Path
+
+        self.path = Path(path) if path is not None else None
+        self._namespaces: Dict[NamespaceKey, PrefixNamespace] = {}
+        if self.path is not None and self.path.exists():
+            from repro.store.codec import load_store_file
+
+            load_store_file(self.path, self)
+
+    # -------------------------------------------------------------- namespaces
+
+    def namespace(self, key: Sequence[Hashable]) -> PrefixNamespace:
+        """Return (creating if needed) the namespace for ``key``."""
+        key = tuple(key)
+        namespace = self._namespaces.get(key)
+        if namespace is None:
+            namespace = PrefixNamespace(key)
+            self._namespaces[key] = namespace
+        return namespace
+
+    def namespaces(self) -> Tuple[NamespaceKey, ...]:
+        """The keys of every namespace currently in the store."""
+        return tuple(self._namespaces)
+
+    def drop_namespace(self, key: Sequence[Hashable]) -> None:
+        """Remove one namespace (a no-op when it does not exist)."""
+        self._namespaces.pop(tuple(key), None)
+
+    # ------------------------------------------------------------------ totals
+
+    @property
+    def node_count(self) -> int:
+        """Total stored prefixes across all namespaces."""
+        return sum(ns.node_count for ns in self._namespaces.values())
+
+    @property
+    def entry_count(self) -> int:
+        """Total recorded entries across all namespaces."""
+        return sum(ns.entry_count for ns in self._namespaces.values())
+
+    def statistics(self) -> Dict[str, object]:
+        """Size summary for reports: namespaces, entries, nodes, on-disk bytes."""
+        on_disk = (
+            self.path.stat().st_size if self.path is not None and self.path.exists() else 0
+        )
+        return {
+            "path": str(self.path) if self.path is not None else None,
+            "namespaces": len(self._namespaces),
+            "entries": self.entry_count,
+            "nodes": self.node_count,
+            "bytes_on_disk": on_disk,
+        }
+
+    def clear(self) -> None:
+        """Drop every namespace."""
+        self._namespaces.clear()
+
+    # ------------------------------------------------------------- persistence
+
+    def save(self, path: Optional[str] = None) -> None:
+        """Atomically write the store to ``path`` (default: its own path).
+
+        A no-op for purely in-memory stores called without a path.
+        """
+        from pathlib import Path
+
+        from repro.store.codec import save_store_file
+
+        target = Path(path) if path is not None else self.path
+        if target is None:
+            return
+        save_store_file(target, self)

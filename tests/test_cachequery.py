@@ -94,8 +94,8 @@ class TestQueryCache:
         cache = QueryCache(str(path))
         entries = {
             ("L1", 0, 1, "A?"): ("Miss",),
-            ("L2", 1, 3, "A B?"): ("Hit", "Miss"),
-            ("L3", 2, 7, "@ A _?"): ("Miss", "Hit", "Hit"),
+            ("L2", 1, 3, "A? B?"): ("Hit", "Miss"),
+            ("L3", 2, 7, "A! B C? D? E?"): ("Miss", "Hit", "Hit"),
         }
         for (level, slice_index, set_index, query), outcomes in entries.items():
             cache.put(level, slice_index, set_index, query, outcomes)
@@ -133,6 +133,183 @@ class TestQueryCache:
         path.write_bytes(b"\xff\xfe\x00garbage\x80")
         with pytest.raises(CacheQueryError):
             QueryCache(str(path))
+
+    def test_outcome_count_must_match_profiled_accesses(self):
+        with pytest.raises(CacheQueryError, match="profiles"):
+            QueryCache().put("L1", 0, 0, "A B?", ("Hit", "Miss"))
+
+    def test_prefix_of_cached_query_is_served_without_execution(self):
+        """The trie rebase: a shorter query rides on a longer one's answer."""
+        cache = QueryCache()
+        cache.put("L2", 0, 3, "A! B? C? D?", ("Hit", "Miss", "Hit"))
+        assert cache.get("L2", 0, 3, "A! B? C?") == ("Hit", "Miss")
+        assert cache.get("L2", 0, 3, "A! B?") == ("Hit",)
+        # Profiling markers do not change cache state, so an unprofiled
+        # variant of the same access path shares the measurements.
+        assert cache.get("L2", 0, 3, "A! B C?") == ("Miss",)
+        # ...but a position never measured cannot be served.
+        cache.put("L2", 0, 3, "A! B C X?", ("Hit",))
+        assert cache.get("L2", 0, 3, "A! B C? X?") == ("Miss", "Hit")
+
+    def test_conflicting_measurements_raise_non_determinism(self):
+        from repro.errors import NonDeterminismError
+
+        cache = QueryCache()
+        cache.put("L1", 0, 0, "A B?", ("Hit",))
+        with pytest.raises(NonDeterminismError):
+            cache.put("L1", 0, 0, "A B? C?", ("Miss", "Hit"))
+
+    def test_legacy_json_cache_migrates_on_open(self, tmp_path):
+        """Pre-PR-5 flat caches load transparently and re-save as a store."""
+        path = tmp_path / "cache.json"
+        legacy = [
+            {"level": "L2", "slice": 0, "set": 5, "query": "A B?", "outcomes": ["Hit"]},
+            {
+                "level": "L2",
+                "slice": 0,
+                "set": 5,
+                "query": "A B? C?",
+                "outcomes": ["Hit", "Miss"],
+            },
+            {"level": "L1", "slice": 1, "set": 2, "query": "X?", "outcomes": ["Miss"]},
+        ]
+        import json
+
+        path.write_text(json.dumps(legacy))
+        cache = QueryCache(str(path))
+        assert cache.get("L2", 0, 5, "A B?") == ("Hit",)
+        assert cache.get("L2", 0, 5, "A B? C?") == ("Hit", "Miss")
+        assert cache.get("L1", 1, 2, "X?") == ("Miss",)
+        cache.save()
+        from repro.store import is_store_document
+
+        assert is_store_document(json.loads(path.read_text()))
+        reloaded = QueryCache(str(path))
+        assert reloaded.get("L2", 0, 5, "A B? C?") == ("Hit", "Miss")
+
+    def test_legacy_cache_with_conflicting_measurements_rejected(self, tmp_path):
+        import json
+
+        path = tmp_path / "cache.json"
+        path.write_text(
+            json.dumps(
+                [
+                    {"level": "L1", "slice": 0, "set": 0, "query": "A B?", "outcomes": ["Hit"]},
+                    {
+                        "level": "L1",
+                        "slice": 0,
+                        "set": 0,
+                        "query": "A B? C?",
+                        "outcomes": ["Miss", "Hit"],
+                    },
+                ]
+            )
+        )
+        with pytest.raises(CacheQueryError, match="conflicting"):
+            QueryCache(str(path))
+
+    def test_trie_persistence_is_smaller_than_legacy_json(self, tmp_path):
+        """Queries sharing a long reset prefix store it once on disk."""
+        import json
+
+        reset = " ".join(f"B{i}!" for i in range(12)) + " @"
+        entries = [
+            (
+                "L2",
+                0,
+                0,
+                f"{reset} " + " ".join(f"C{j}?" for j in range(depth + 1)),
+                tuple("Hit" for _ in range(depth + 1)),
+            )
+            for depth in range(40)
+        ]
+        legacy_bytes = len(
+            json.dumps(
+                [
+                    {"level": lvl, "slice": sl, "set": st, "query": q, "outcomes": list(o)}
+                    for lvl, sl, st, q, o in entries
+                ]
+            )
+        )
+        path = tmp_path / "store.json"
+        cache = QueryCache(str(path))
+        for lvl, sl, st, query, outcomes in entries:
+            cache.put(lvl, sl, st, query, outcomes)
+        cache.save()
+        assert path.stat().st_size < legacy_bytes / 3
+
+    def test_corrupt_file_never_partially_populates_a_shared_store(self, tmp_path):
+        """All-or-nothing loading: a file whose tail is malformed must not
+        leave its valid head in a shared store other views depend on."""
+        import json
+
+        from repro.store import PrefixStore
+
+        path = tmp_path / "cache.json"
+        # Legacy file: first entry valid, second has more outcomes than
+        # profiled accesses.
+        path.write_text(
+            json.dumps(
+                [
+                    {"level": "L1", "slice": 0, "set": 0, "query": "A?", "outcomes": ["Hit"]},
+                    {
+                        "level": "L1",
+                        "slice": 0,
+                        "set": 0,
+                        "query": "B C?",
+                        "outcomes": ["Hit", "Miss"],
+                    },
+                ]
+            )
+        )
+        shared = PrefixStore()
+        with pytest.raises(CacheQueryError, match="entry 1"):
+            QueryCache(str(path), store=shared)
+        assert shared.node_count == 0 and shared.namespaces() == ()
+        # Native store file: valid first namespace, malformed second one.
+        path.write_text(
+            json.dumps(
+                {
+                    "format": "repro-prefix-store",
+                    "version": 1,
+                    "namespaces": [
+                        {"key": ["mbl", "L1", 0, 0], "trie": [None, {"A": ["Hit", {}, 1]}]},
+                        {"key": ["mbl", "L1", 0, 1], "trie": [None]},
+                    ],
+                }
+            )
+        )
+        shared = PrefixStore()
+        with pytest.raises(CacheQueryError, match="malformed"):
+            QueryCache(str(path), store=shared)
+        assert shared.node_count == 0 and shared.namespaces() == ()
+
+    def test_loaded_file_conflicting_with_shared_store_is_rejected(self, tmp_path):
+        from repro.store import PrefixStore
+
+        path = tmp_path / "cache.json"
+        writer = QueryCache(str(path))
+        writer.put("L1", 0, 0, "A?", ("Hit",))
+        writer.save()
+        shared = PrefixStore()
+        live = QueryCache(store=shared)
+        live.put("L1", 0, 0, "A?", ("Miss",))
+        with pytest.raises(CacheQueryError, match="conflict"):
+            QueryCache(str(path), store=shared)
+        # The live measurement is untouched.
+        assert live.get("L1", 0, 0, "A?") == ("Miss",)
+
+    def test_shared_store_is_not_loaded_twice(self, tmp_path):
+        from repro.store import PrefixStore
+
+        path = tmp_path / "store.json"
+        first = QueryCache(str(path))
+        first.put("L1", 0, 0, "A?", ("Hit",))
+        first.save()
+        store = PrefixStore(str(path))  # loads the file itself
+        joined = QueryCache(str(path), store=store)
+        assert len(joined) == 1  # not duplicated by a second load
+        assert joined.get("L1", 0, 0, "A?") == ("Hit",)
 
 
 class TestBackend:

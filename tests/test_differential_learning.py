@@ -120,3 +120,46 @@ def test_parallel_run_reports_worker_accounting():
     assert extra["parallel_words"] >= 1
     assert sum(extra["worker_query_counts"].values()) >= 1
     assert sum(extra["worker_symbol_counts"].values()) >= 1
+    # The widened worker protocol ships full statistics deltas: the raw
+    # per-worker counters include the Polca-level probe costs.
+    merged = {}
+    for counters in extra["worker_statistics"].values():
+        for name, value in counters.items():
+            merged[name] = merged.get(name, 0) + value
+    assert merged.get("cache_probes", 0) >= 1
+    assert merged.get("block_accesses", 0) >= 1
+
+
+#: Statistics fields that legitimately differ between serial and parallel
+#: runs (they count pool mechanics, not measurements).
+PARALLEL_ONLY_FIELDS = ("parallel_chunks", "parallel_words")
+
+
+@pytest.mark.parametrize("policy_name", ("LRU", "PLRU", "MRU", "SRRIP-HP"))
+def test_probe_and_hit_columns_are_worker_count_invariant(policy_name):
+    """Every reported column — engine hits/batches/subsumption AND the
+    Polca probe/access counters — must be identical at --workers 0/2.
+
+    Before PR 5 the probes column read 0 under ``--workers`` (worker-side
+    Polca counters never left the worker processes) and cache_hits/batches
+    drifted with the in-flight window; the widened worker return protocol
+    plus consume-time chunk accounting closed both.
+    """
+    from dataclasses import asdict
+
+    associativity = 4 if policy_name != "SRRIP-HP" else 2
+    policy = make_policy(policy_name, associativity)
+    serial = learn_simulated_policy(policy, depth=1, identify=False)
+    parallel = learn_simulated_policy(
+        make_policy(policy_name, associativity), depth=1, identify=False, workers=2
+    )
+    assert parallel.machine == serial.machine
+
+    serial_engine = asdict(serial.learning_result.statistics)
+    parallel_engine = asdict(parallel.learning_result.statistics)
+    for field in PARALLEL_ONLY_FIELDS:
+        serial_engine.pop(field), parallel_engine.pop(field)
+    assert parallel_engine == serial_engine
+
+    assert asdict(parallel.polca_statistics) == asdict(serial.polca_statistics)
+    assert parallel.polca_statistics.cache_probes > 0

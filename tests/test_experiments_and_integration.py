@@ -49,6 +49,27 @@ class TestTable2:
         assert all(row.identified == row.policy for row in rows)
         assert "Policy" in format_table2(rows)
 
+    def test_persistent_store_warm_starts_a_repeated_sweep(self, tmp_path):
+        """--cache-path semantics: the second run executes zero queries."""
+        path = str(tmp_path / "sweep.json")
+        configurations = [("LRU", 2), ("PLRU", 4)]
+        cold = run_table2(configurations=configurations, cache_path=path)
+        assert all(row.membership_queries > 0 for row in cold)
+        warm = run_table2(configurations=configurations, cache_path=path)
+        assert all(row.membership_queries == 0 for row in warm)
+        assert all(row.cache_probes == 0 for row in warm)
+        assert [row.learned_states for row in warm] == [
+            row.learned_states for row in cold
+        ]
+
+    def test_resume_produces_the_same_rows(self):
+        plain = run_table2(configurations=[("PLRU", 4)])
+        resumed = run_table2(configurations=[("PLRU", 4)], resume=True)
+        assert resumed[0].learned_states == plain[0].learned_states
+        assert resumed[0].identified == plain[0].identified
+        # Resume strictly reduces what reaches the cache interface.
+        assert resumed[0].block_accesses < plain[0].block_accesses
+
 
 class TestTable3:
     def test_rows_cover_all_nine_levels(self):
@@ -97,6 +118,72 @@ class TestTable4:
         )
         row = run_table4_configuration(configuration)
         assert row.identified_policy == "PLRU"
+
+    def test_one_store_backs_frontend_and_learning_trie(self, tmp_path):
+        """The acceptance shape: one PrefixStore holds both caching stacks."""
+        from repro.store import PrefixStore
+
+        store = PrefixStore(str(tmp_path / "t4.json"))
+        configuration = Table4Configuration(
+            cpu="i5-6500", level="L2", set_index=5, reduce_associativity=2
+        )
+        row = run_table4_configuration(configuration, store=store)
+        assert row.identified_policy == "NEW1"
+        kinds = {key[0] for key in store.namespaces()}
+        assert kinds == {"mbl", "learning"}
+        assert store.path.exists()  # saved after the run
+        # A second run over the same store is served from it entirely.
+        warm = run_table4_configuration(configuration, store=PrefixStore(str(store.path)))
+        assert warm.membership_queries == 0
+        assert warm.identified_policy == "NEW1"
+
+    def test_resume_on_the_hardware_path(self):
+        configuration = Table4Configuration(
+            cpu="i7-8550U", level="L1", set_index=0, reduce_associativity=2
+        )
+        row = run_table4_configuration(configuration, resume=True)
+        assert row.identified_policy == "PLRU"
+
+
+class TestCLIFlags:
+    def test_resume_with_workers_rejected(self, capsys):
+        from repro.experiments.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["table2", "--resume", "--workers", "2"])
+        assert "serial-only" in capsys.readouterr().err
+
+    def test_cache_path_flag_prints_store_summary(self, tmp_path, capsys):
+        from repro.experiments import table2 as table2_module
+        from repro.experiments.cli import main
+
+        original = table2_module.table2_configurations
+        table2_module.table2_configurations = lambda mode: [("LRU", 2)]
+        try:
+            path = tmp_path / "cli-store.json"
+            assert main(["table2", "--cache-path", str(path), "--resume"]) == 0
+        finally:
+            table2_module.table2_configurations = original
+        out = capsys.readouterr().out
+        assert "prefix store" in out
+        assert path.exists()
+
+    def test_format_store_statistics_line(self):
+        from repro.experiments.reporting import format_store_statistics
+
+        line = format_store_statistics(
+            {
+                "path": "/tmp/s.json",
+                "namespaces": 2,
+                "entries": 10,
+                "nodes": 40,
+                "bytes_on_disk": 2048,
+            },
+            hit_ratio=0.5,
+        )
+        assert "/tmp/s.json" in line
+        assert "2.0 KiB" in line
+        assert "50.0%" in line
 
 
 class TestTable5:
