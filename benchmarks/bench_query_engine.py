@@ -1,31 +1,39 @@
-"""The batched trie-backed query engine vs. the seed query path.
+"""Query-engine and simulator-kernel benchmarks, with machine-readable output.
 
-The acceptance experiment of the query-engine PR: learn the 8-way PLRU
-policy (the 128-state machine of Table 2) from its white-box Mealy model
-through the full L* + Wp-method loop twice —
+Three sections, each an acceptance experiment of one PR:
 
-* **seed path** — the per-word dictionary cache
-  (:class:`~repro.learning.oracles.DictCachedMembershipOracle`) with the
-  equivalence oracle querying the system word by word; and
-* **engine path** — the trie-backed
-  :class:`~repro.learning.oracles.CachedMembershipOracle` shared between
-  the observation table and the conformance tester, with batching,
-  prefix-subsumption and resume-from-state —
+* **engine vs. seed** (query-engine PR) — learn the 8-way PLRU policy (the
+  128-state machine of Table 2) from its white-box Mealy model through the
+  full L* + Wp-method loop with the per-word dictionary cache
+  (:class:`~repro.learning.oracles.DictCachedMembershipOracle`) and with the
+  trie-backed :class:`~repro.learning.oracles.CachedMembershipOracle`; the
+  engine must cut executed symbols by at least 2x on the same machine.
 
-and compare executed queries, executed symbols and wall-clock time.  The
-engine must cut executed symbols by at least 2x while learning the *same*
-machine; a registry-wide sweep checks that every learnable policy still
-yields an unchanged (trace-equivalent, same-size) automaton.
+* **kernel throughput** (simkernel PR) — answer one seeded random workload
+  of PLRU-8 policy words through
+  :class:`~repro.polca.algorithm.PolcaMembershipOracle` under every
+  execution kernel (legacy scalar stepper, tabulated pure-Python, tabulated
+  numpy) and compare policy symbols/second.  Acceptance: the numpy kernel
+  answers >= 10x the symbols/sec of the scalar stepper.
 
-Run standalone::
+* **kernel learning identity** (simkernel PR) — learn PLRU-8 end-to-end
+  under kernel in {scalar, python, numpy} x workers in {0, 2} and require
+  every learned machine to be bit-identical (``==``) to the scalar serial
+  one.
 
-    PYTHONPATH=src python benchmarks/bench_query_engine.py
+Run standalone (``--json OUT`` writes a machine-readable result so the
+perf trajectory accumulates ``BENCH_*.json`` points)::
+
+    PYTHONPATH=src python benchmarks/bench_query_engine.py --json BENCH_query_engine.json
 
 or through pytest-benchmark::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_query_engine.py
 """
 
+import argparse
+import json
+import random
 import time
 
 import pytest
@@ -35,6 +43,7 @@ try:  # pytest inserts benchmarks/ into sys.path; standalone runs don't need it
 except ImportError:  # pragma: no cover - standalone execution
     run_once = None
 
+from repro.core.alphabet import policy_input_alphabet
 from repro.learning import (
     CachedMembershipOracle,
     ConformanceEquivalenceOracle,
@@ -44,6 +53,10 @@ from repro.learning import (
     learn_mealy_machine,
 )
 from repro.policies.registry import available_policies, make_policy
+from repro.polca.algorithm import PolcaMembershipOracle
+from repro.polca.interfaces import SimulatedCacheInterface
+from repro.polca.pipeline import learn_simulated_policy
+from repro.simkernel import numpy_available
 
 #: The acceptance target: the paper's 8-way tree PLRU (128 states).
 TENTPOLE_POLICY = ("PLRU", 8)
@@ -88,6 +101,96 @@ def compare_backends(policy_name, associativity):
     return seed, engine, ratios
 
 
+# ------------------------------------------------------- simulator kernels
+
+#: The kernel acceptance target (the 10x bar of the simkernel PR).
+KERNEL_SPEEDUP_TARGET = 10.0
+
+
+def kernel_workload(associativity, *, words=2000, min_length=16, max_length=48, seed=20200615):
+    """One seeded, kernel-independent workload of random policy words.
+
+    Word lengths follow the deep conformance-suite words that dominate the
+    targets this kernel unlocks (16-way PLRU / deeper SRRIP sweeps): the
+    scalar path replays the whole access chain per symbol, so its
+    per-symbol cost grows with word length while the tabulated kernels
+    stay O(1) per symbol.
+    """
+    alphabet = policy_input_alphabet(associativity)
+    rng = random.Random(seed)
+    return [
+        tuple(rng.choice(alphabet) for _ in range(rng.randint(min_length, max_length)))
+        for _ in range(words)
+    ]
+
+
+def kernel_throughput(policy_name, associativity, *, batch_size=1024, **workload_kwargs):
+    """Answer the same workload under every kernel; return per-kernel metrics.
+
+    Throughput is policy symbols per second as counted by Polca itself
+    (``statistics.policy_symbols``), so every kernel is measured over the
+    exact same executed work — dedupe and prefix subsumption included.
+    """
+    workload = kernel_workload(associativity, **workload_kwargs)
+    kernels = ["scalar", "python"] + (["numpy"] if numpy_available() else [])
+    results = {}
+    for kernel in kernels:
+        interface = SimulatedCacheInterface(make_policy(policy_name, associativity))
+        oracle = PolcaMembershipOracle(interface, kernel=kernel)
+        assert oracle.kernel_in_use == kernel
+        start = time.perf_counter()
+        for begin in range(0, len(workload), batch_size):
+            oracle.output_query_batch(workload[begin : begin + batch_size])
+        seconds = time.perf_counter() - start
+        results[kernel] = {
+            "seconds": seconds,
+            "policy_symbols": oracle.statistics.policy_symbols,
+            "cache_probes": oracle.statistics.cache_probes,
+            "block_accesses": oracle.statistics.block_accesses,
+            "symbols_per_sec": oracle.statistics.policy_symbols / max(1e-9, seconds),
+        }
+    for kernel in kernels[1:]:
+        # Same workload, same accounting: only wall-clock may differ.
+        for counter in ("policy_symbols", "cache_probes", "block_accesses"):
+            assert results[kernel][counter] == results["scalar"][counter], counter
+    return results
+
+
+def kernel_learning_identity(policy_name, associativity, *, workers_settings=(0, 2)):
+    """Learn the policy under every kernel x workers combination.
+
+    Returns ``(runs, identical)`` where ``identical`` is True iff every
+    learned machine is bit-identical (``==``) to the scalar serial one.
+    """
+    kernels = ["scalar", "python"] + (["numpy"] if numpy_available() else [])
+    runs = []
+    baseline = None
+    identical = True
+    for kernel in kernels:
+        for workers in workers_settings:
+            report = learn_simulated_policy(
+                make_policy(policy_name, associativity),
+                kernel=kernel,
+                workers=workers if workers else None,
+            )
+            if baseline is None:
+                baseline = report.machine
+            identical = identical and report.machine == baseline
+            runs.append(
+                {
+                    "kernel": kernel,
+                    "kernel_in_use": report.extra["kernel"],
+                    "workers": workers,
+                    "states": report.num_states,
+                    "seconds": report.wall_clock_seconds,
+                    "policy_symbols": report.polca_statistics.policy_symbols,
+                    "cache_probes": report.polca_statistics.cache_probes,
+                    "machine_identical": report.machine == baseline,
+                }
+            )
+    return runs, identical
+
+
 # --------------------------------------------------------------------- pytest
 
 
@@ -128,9 +231,83 @@ def test_registry_machines_unchanged(policy_name):
 # ----------------------------------------------------------------- standalone
 
 
-def main():
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json",
+        metavar="OUT",
+        default=None,
+        help="write the full machine-readable results to this file "
+        "(the BENCH_*.json perf-trajectory format)",
+    )
+    parser.add_argument(
+        "--skip-engine",
+        action="store_true",
+        help="skip the engine-vs-seed and registry-sweep sections",
+    )
+    parser.add_argument(
+        "--skip-learning",
+        action="store_true",
+        help="skip the end-to-end kernel learning-identity section (slow)",
+    )
+    arguments = parser.parse_args(argv)
     policy_name, associativity = TENTPOLE_POLICY
-    print(f"== Batched query engine vs. seed path: {policy_name}-{associativity} ==")
+    payload = {
+        "benchmark": "bench_query_engine",
+        "policy": policy_name,
+        "associativity": associativity,
+        "numpy_available": numpy_available(),
+    }
+
+    print(f"== Simulator kernel throughput: {policy_name}-{associativity} ==")
+    throughput = kernel_throughput(policy_name, associativity)
+    print(f"{'kernel':>8} {'symbols':>9} {'seconds':>9} {'symbols/sec':>12}")
+    for kernel, metrics in throughput.items():
+        print(
+            f"{kernel:>8} {metrics['policy_symbols']:>9} {metrics['seconds']:>9.3f} "
+            f"{metrics['symbols_per_sec']:>12.0f}"
+        )
+    payload["kernel_throughput"] = throughput
+    speedups = {
+        kernel: metrics["symbols_per_sec"] / throughput["scalar"]["symbols_per_sec"]
+        for kernel, metrics in throughput.items()
+        if kernel != "scalar"
+    }
+    payload["kernel_speedup_over_scalar"] = speedups
+    for kernel, speedup in speedups.items():
+        print(f"{kernel} kernel speedup over scalar: {speedup:.1f}x")
+    if "numpy" in throughput:
+        assert speedups["numpy"] >= KERNEL_SPEEDUP_TARGET, (
+            f"acceptance criterion: numpy kernel >= {KERNEL_SPEEDUP_TARGET:.0f}x "
+            f"scalar symbols/sec, got {speedups['numpy']:.1f}x"
+        )
+
+    if not arguments.skip_learning:
+        print(f"\n== Kernel learning identity: {policy_name}-{associativity} ==")
+        runs, identical = kernel_learning_identity(policy_name, associativity)
+        print(f"{'kernel':>8} {'workers':>8} {'states':>7} {'seconds':>9} {'identical':>10}")
+        for run in runs:
+            print(
+                f"{run['kernel']:>8} {run['workers']:>8} {run['states']:>7} "
+                f"{run['seconds']:>9.2f} {str(run['machine_identical']):>10}"
+            )
+        payload["kernel_learning"] = runs
+        payload["kernel_learning_identical"] = identical
+        assert identical, "acceptance criterion: machines bit-identical across kernels"
+
+    if not arguments.skip_engine:
+        run_engine_sections(policy_name, associativity, payload)
+
+    if arguments.json:
+        with open(arguments.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"\nwrote {arguments.json}")
+    print("\nOK")
+
+
+def run_engine_sections(policy_name, associativity, payload):
+    print(f"\n== Batched query engine vs. seed path: {policy_name}-{associativity} ==")
     seed, engine, ratios = compare_backends(policy_name, associativity)
     header = f"{'path':>12} {'states':>7} {'queries':>9} {'symbols':>10} {'seconds':>9}"
     print(header)
@@ -145,8 +322,14 @@ def main():
         f"{ratios['queries']:.2f}x queries, {ratios['seconds']:.2f}x wall time"
     )
     assert ratios["symbols"] >= 2.0, "acceptance criterion: >= 2x fewer executed symbols"
+    payload["engine_vs_seed"] = {
+        "seed": {key: value for key, value in seed.items() if key != "machine"},
+        "engine": {key: value for key, value in engine.items() if key != "machine"},
+        "ratios": ratios,
+    }
 
     print("\n== Registry sweep: learned machines unchanged (associativity 2) ==")
+    sweep = {}
     for name in available_policies():
         try:
             reference = make_policy(name, 2).to_mealy().minimize()
@@ -162,7 +345,8 @@ def main():
         unchanged = machines["seed-dict"].equivalent(machines["trie-engine"])
         assert unchanged, f"{name}: engines learned different machines"
         print(f"{name:>12}: {machines['trie-engine'].size} states, unchanged")
-    print("\nOK")
+        sweep[name] = machines["trie-engine"].size
+    payload["registry_sweep_states"] = sweep
 
 
 if __name__ == "__main__":

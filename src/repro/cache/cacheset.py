@@ -216,6 +216,25 @@ class SimulatedCacheSet:
             raise CacheError("probe_last requires at least one block")
         return outputs[-1]
 
+    def count_kernel_probes(self, probes: int, accesses: int) -> None:
+        """Account for probes executed on this cache's behalf by a kernel.
+
+        The tabulated execution kernels (:mod:`repro.simkernel`) answer
+        policy words without touching this object, but the probe/access
+        counters must stay *execution-strategy-independent*: a learning run
+        reports the same measurement cost whether its words were stepped
+        here one block at a time or batched through a transition table.
+        Kernel consumers therefore fold the analytically-derived cost of
+        the probes they elided into these counters.
+        """
+        if probes < 0 or accesses < 0:
+            raise CacheError(
+                f"kernel probe accounting must be non-negative, got "
+                f"probes={probes}, accesses={accesses}"
+            )
+        self.probe_count += probes
+        self.access_count += accesses
+
     def initial_content(self) -> Tuple[Optional[Block], ...]:
         """Return the content the cache holds right after a reset."""
         self._set.reset()

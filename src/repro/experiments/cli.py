@@ -149,6 +149,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "with --workers > 1)",
     )
     parser.add_argument(
+        "--kernel",
+        choices=["auto", "python", "numpy", "scalar"],
+        default="auto",
+        help="simulator execution kernel for table2/table4: auto picks the "
+        "tabulated numpy kernel when numpy is importable and the policy "
+        "tabulates (falling back to the pure-Python tabulated stepper, then "
+        "to the scalar path); python/numpy force a tabulated kernel; scalar "
+        "forces the legacy per-symbol stepper — results are identical "
+        "either way",
+    )
+    parser.add_argument(
         "--json", action="store_true", help="emit raw results as JSON instead of tables"
     )
     arguments = parser.parse_args(argv)
@@ -159,6 +170,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     learning_kwargs = {
         "cache_path": arguments.cache_path,
         "resume": arguments.resume,
+        "kernel": arguments.kernel,
     }
 
     if arguments.json:

@@ -130,6 +130,7 @@ def run_table2(
     resume: bool = False,
     store=None,
     cache_path: Optional[str] = None,
+    kernel: Optional[str] = "auto",
 ) -> List[Table2Row]:
     """Learn every configured policy from its software-simulated cache.
 
@@ -142,7 +143,9 @@ def run_table2(
     configuration's query engine in one shared
     :class:`~repro.store.PrefixStore` (one namespace per policy target);
     with a path the store is saved after every row, so an interrupted sweep
-    resumes from what it already measured.
+    resumes from what it already measured.  ``kernel`` selects the simulator
+    execution strategy (``auto``/``python``/``numpy``/``scalar``); answers,
+    machines and probe columns are identical across kernels.
     """
     if configurations is None:
         configurations = table2_configurations(mode)
@@ -155,7 +158,12 @@ def run_table2(
         policy = make_policy(policy_name, associativity)
         start = time.perf_counter()
         report = learn_simulated_policy(
-            policy, depth=depth, workers=workers, resume=resume, store=store
+            policy,
+            depth=depth,
+            workers=workers,
+            resume=resume,
+            store=store,
+            kernel=kernel,
         )
         elapsed = time.perf_counter() - start
         if store is not None:

@@ -194,6 +194,7 @@ def run_table4_configuration(
     workers: Optional[int] = None,
     resume: bool = False,
     store=None,
+    kernel: Optional[str] = "auto",
 ) -> Table4Row:
     """Run the hardware-learning pipeline for one (CPU, level) target.
 
@@ -269,6 +270,9 @@ def run_table4_configuration(
     # pool workers receive a snapshot and replay table-fill batches and
     # suite chunks against their own copy — the hardware-path analogue of
     # rebuilding a simulator.
+    # The CacheQuery interface has no policy-exact kernel hook, so
+    # kernel="auto" degrades to the scalar path here; forcing a kernel is
+    # rejected by Polca with a clean error.
     report = learn_policy_from_cache(
         interface,
         depth=depth,
@@ -276,6 +280,7 @@ def run_table4_configuration(
         workers=workers,
         resume=resume,
         store=store,
+        kernel=kernel,
     )
     elapsed = time.perf_counter() - start
     store.save()  # no-op for in-memory stores
@@ -307,6 +312,7 @@ def run_table4(
     resume: bool = False,
     store=None,
     cache_path: Optional[str] = None,
+    kernel: Optional[str] = "auto",
 ) -> List[Table4Row]:
     """Run the hardware-learning experiment for every configured target.
 
@@ -329,6 +335,7 @@ def run_table4(
             workers=workers,
             resume=resume,
             store=store,
+            kernel=kernel,
         )
         for configuration in configurations
     ]

@@ -87,6 +87,10 @@ class SimulatedPolicyOracleFactory:
     policy_name: str
     associativity: int
     extra_blocks: int = 2
+    #: Execution kernel for the worker's Polca oracle.  ``"auto"`` means
+    #: each worker compiles the policy into a transition table once, at
+    #: pool init, and steps its chunks through the tabulated kernel.
+    kernel: Optional[str] = "auto"
 
     def __call__(self):
         from repro.polca.algorithm import PolcaMembershipOracle
@@ -95,7 +99,7 @@ class SimulatedPolicyOracleFactory:
 
         policy = make_policy(self.policy_name, self.associativity)
         interface = SimulatedCacheInterface(policy, extra_blocks=self.extra_blocks)
-        return PolcaMembershipOracle(interface)
+        return PolcaMembershipOracle(interface, kernel=self.kernel)
 
 
 @dataclass(frozen=True)
@@ -110,11 +114,15 @@ class CacheInterfaceOracleFactory:
     """
 
     cache: object
+    #: Execution kernel for the worker's Polca oracle; interfaces without
+    #: policy-exact semantics (no ``kernel_policy`` hook — e.g. CacheQuery)
+    #: silently keep the scalar path under ``"auto"``.
+    kernel: Optional[str] = "auto"
 
     def __call__(self):
         from repro.polca.algorithm import PolcaMembershipOracle
 
-        return PolcaMembershipOracle(self.cache)
+        return PolcaMembershipOracle(self.cache, kernel=self.kernel)
 
 
 @dataclass(frozen=True)
@@ -168,21 +176,23 @@ def _is_registry_default(policy) -> bool:
     return type(default) is type(policy) and default.__dict__ == policy.__dict__
 
 
-def oracle_factory_for_cache(cache) -> OracleFactory:
+def oracle_factory_for_cache(cache, *, kernel: Optional[str] = "auto") -> OracleFactory:
     """Derive an :class:`OracleFactory` for a Polca cache interface.
 
     Simulated caches whose policy *is* the registry default for its name
     are described by (policy name, associativity) so workers rebuild them
     from scratch; any other interface — including registry policies with
     non-default parameters — is shipped as a pickled snapshot.  Raises
-    :class:`~repro.errors.LearningError` when neither works.
+    :class:`~repro.errors.LearningError` when neither works.  ``kernel``
+    is forwarded to each worker's Polca oracle so serial and parallel runs
+    answer through the same execution strategy.
     """
     from repro.polca.interfaces import SimulatedCacheInterface
 
     if isinstance(cache, SimulatedCacheInterface) and _is_registry_default(cache.policy):
         extra = len(cache.block_universe()) - cache.associativity
         return SimulatedPolicyOracleFactory(
-            cache.policy.name.upper(), cache.associativity, extra
+            cache.policy.name.upper(), cache.associativity, extra, kernel
         )
     try:
         pickle.dumps(cache)
@@ -191,7 +201,7 @@ def oracle_factory_for_cache(cache) -> OracleFactory:
             f"cache interface {cache!r} cannot be shipped to worker processes; "
             "pass an explicit oracle_factory"
         ) from exc
-    return CacheInterfaceOracleFactory(cache)
+    return CacheInterfaceOracleFactory(cache, kernel)
 
 
 # ------------------------------------------------------------- worker side

@@ -135,11 +135,33 @@ def dedupe_and_subsume(words: Sequence[Sequence[Input]]) -> List[Word]:
         if word and word not in seen:
             seen.add(word)
             unique.append(word)
-    proper_prefixes = set()
+    if len(unique) <= 1:
+        return unique
+    # Map symbols to integer ids so words become comparable key lists
+    # (symbols themselves need not be orderable), then sort: in
+    # lexicographic order every proper prefix sits immediately before one
+    # of its extensions, so a single next-neighbour check per word replaces
+    # materializing (and hashing) every prefix of every word — the
+    # difference between O(total symbols) and O(total symbols * length) on
+    # the deep batches of the tabulated kernels.
+    symbol_ids: dict = {}
+    keys: List[List[int]] = []
     for word in unique:
-        for length in range(1, len(word)):
-            proper_prefixes.add(word[:length])
-    return [word for word in unique if word not in proper_prefixes]
+        key: List[int] = []
+        for symbol in word:
+            code = symbol_ids.get(symbol)
+            if code is None:
+                code = symbol_ids[symbol] = len(symbol_ids)
+            key.append(code)
+        keys.append(key)
+    order = sorted(range(len(unique)), key=keys.__getitem__)
+    dropped = set()
+    for here, there in zip(order, order[1:]):
+        key = keys[here]
+        longer = keys[there]
+        if len(key) < len(longer) and longer[: len(key)] == key:
+            dropped.add(here)
+    return [word for index, word in enumerate(unique) if index not in dropped]
 
 
 def partition_batch(words: Sequence[Word], lookup):

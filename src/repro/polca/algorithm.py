@@ -35,10 +35,44 @@ from repro.core.alphabet import (
 )
 from repro.core.trace import Trace
 from repro.errors import LearningError, NonDeterminismError, PolicyError
-from repro.learning.query_engine import batch_via_single_queries
+from repro.learning.query_engine import (
+    ResponseTrie,
+    batch_via_single_queries,
+    dedupe_and_subsume,
+    serve_from_trie,
+)
 from repro.polca.interfaces import CacheProbeInterface
+from repro.simkernel.batch import BatchSimulator
 
 Block = Hashable
+
+#: Kernel names accepted by the ``kernel=`` knob (``None`` ≡ ``"scalar"``).
+POLCA_KERNELS = ("auto", "python", "numpy", "scalar")
+
+
+def scalar_probe_cost(
+    word: Sequence[PolicyInput], associativity: int
+) -> Tuple[int, int]:
+    """Return ``(probes, block_accesses)`` the scalar path would issue for ``word``.
+
+    Derived from :meth:`PolcaMembershipOracle._run_symbols` with sessions
+    off and an empty resumed prefix: the symbol at 0-based position ``k``
+    always costs one replay probe of ``k + 1`` accesses, and every ``Evct``
+    symbol additionally runs ``findEvicted`` — exactly ``associativity``
+    probes of ``k + 2`` accesses each (the loop never breaks early, by
+    design: a second missing line must raise ``NonDeterminismError``).
+    Over a full simulated cache only ``Evct`` symbols miss, so the cost is
+    a pure function of the input word.  The kernel fast path uses this to
+    keep the probe/access counters execution-strategy-independent.
+    """
+    length = len(word)
+    probes = length
+    accesses = length * (length + 1) // 2
+    for position, symbol in enumerate(word):
+        if isinstance(symbol, Evict):
+            probes += associativity
+            accesses += associativity * (position + 2)
+    return probes, accesses
 
 
 @dataclass
@@ -94,9 +128,28 @@ class PolcaMembershipOracle:
     serial and process-parallel runs only report identical probe counters
     when both use the same setting; the pipeline keeps it off for parallel
     runs (a session is inherently a serial, stateful object).
+
+    ``kernel`` selects the execution strategy for *simulated* targets: when
+    the interface exposes :meth:`kernel_policy` (it guarantees policy-exact
+    probe semantics — the simulated cache starts full), the oracle compiles
+    the policy into a flat transition table and answers whole batches
+    through a :class:`~repro.simkernel.batch.BatchSimulator` instead of
+    probing symbol by symbol.  Answers are bit-identical to the scalar path
+    and the probe/access counters are kept identical too, via
+    :func:`scalar_probe_cost` accounting.  ``"auto"`` degrades silently
+    (no ``kernel_policy``, non-tabulatable policy, ``resume=True``, numpy
+    missing → scalar/python as appropriate); forcing ``"python"`` or
+    ``"numpy"`` raises :class:`~repro.errors.PolicyError` instead.
+    :attr:`kernel_in_use` reports what actually runs.
     """
 
-    def __init__(self, cache: CacheProbeInterface, *, resume: bool = False) -> None:
+    def __init__(
+        self,
+        cache: CacheProbeInterface,
+        *,
+        resume: bool = False,
+        kernel: Optional[str] = None,
+    ) -> None:
         self.cache = cache
         self.associativity = cache.associativity
         if self.associativity < 1:
@@ -114,6 +167,48 @@ class PolcaMembershipOracle:
         self.resume = bool(resume)
         self._use_sessions = self.resume and supports_sessions(cache)
         self.statistics = PolcaStatistics()
+        self._simulator: Optional[BatchSimulator] = None
+        if kernel is not None and kernel != "scalar":
+            self._simulator = self._build_simulator(kernel)
+        #: Execution strategy actually answering queries:
+        #: ``"scalar"``, ``"python"`` or ``"numpy"``.
+        self.kernel_in_use = (
+            "scalar" if self._simulator is None else self._simulator.kernel
+        )
+
+    def _build_simulator(self, kernel: str) -> Optional[BatchSimulator]:
+        """Try to bind the tabulated fast path; ``None`` means scalar fallback."""
+        if kernel not in POLCA_KERNELS:
+            raise PolicyError(
+                f"unknown simulator kernel {kernel!r}; choose one of {POLCA_KERNELS}"
+            )
+        forced = kernel != "auto"
+        kernel_policy = getattr(self.cache, "kernel_policy", None)
+        accounting = getattr(self.cache, "count_kernel_probes", None)
+        if not (callable(kernel_policy) and callable(accounting)):
+            if forced:
+                raise PolicyError(
+                    f"kernel={kernel!r} requires a cache interface with "
+                    "policy-exact semantics (kernel_policy/count_kernel_probes); "
+                    f"{type(self.cache).__name__} only supports the scalar path"
+                )
+            return None
+        if self.resume:
+            # The resume protocol reconstructs Polca state from cached prefix
+            # outputs and drives measurement sessions — an inherently scalar,
+            # stateful execution; the kernel answers from the initial state.
+            if forced:
+                raise PolicyError(
+                    f"kernel={kernel!r} is incompatible with resume=True; "
+                    "use kernel='auto' (degrades to scalar) or disable resume"
+                )
+            return None
+        try:
+            return BatchSimulator(kernel_policy(), kernel=kernel)
+        except PolicyError:
+            if forced:
+                raise
+            return None
 
     @property
     def supports_resume(self) -> bool:
@@ -177,9 +272,30 @@ class PolcaMembershipOracle:
         removed: instead of checking outputs it *computes* them.
         """
         word = tuple(word)
+        if self._simulator is not None:
+            return self._answer_kernel_words([word])[0]
         self.statistics.policy_queries += 1
         self.statistics.policy_symbols += len(word)
         return self._run_symbols(word, list(self._initial_content), [])
+
+    def _answer_kernel_words(
+        self, words: Sequence[Tuple[PolicyInput, ...]]
+    ) -> List[Tuple[PolicyOutput, ...]]:
+        """Answer executed (maximal) words through the kernel, with the same
+        counter increments the scalar path would have produced."""
+        answers = self._simulator.answer_words(words)
+        total_probes = 0
+        total_accesses = 0
+        for word in words:
+            self.statistics.policy_queries += 1
+            self.statistics.policy_symbols += len(word)
+            probes, accesses = scalar_probe_cost(word, self.associativity)
+            self.statistics.cache_probes += probes
+            self.statistics.block_accesses += accesses
+            total_probes += probes
+            total_accesses += accesses
+        self.cache.count_kernel_probes(total_probes, total_accesses)
+        return answers
 
     def output_query_resume(
         self,
@@ -294,8 +410,20 @@ class PolcaMembershipOracle:
         on the preceding symbols), so duplicate words and words that are
         proper prefixes of other batch members are served by slicing the
         longer word's answer — none of their probes reach the cache.
+
+        With a kernel bound, the deduped maximal words go through the
+        tabulated simulator as one lockstep chunk; the dedupe/serve shape
+        is the same, so executed-word accounting matches the scalar path
+        word for word.
         """
-        return batch_via_single_queries(self, words)
+        if self._simulator is None:
+            return batch_via_single_queries(self, words)
+        words = [tuple(word) for word in words]
+        maximal = dedupe_and_subsume(words)
+        answers = ResponseTrie()
+        for word, outputs in zip(maximal, self._answer_kernel_words(maximal)):
+            answers.insert(word, outputs)
+        return serve_from_trie(words, answers)
 
     def check_trace(self, trace: Trace) -> bool:
         """Decide whether ``trace`` belongs to the policy semantics ``[[P]]``.

@@ -115,6 +115,25 @@ class SimulatedCacheInterface:
         """Namespace key identifying this target inside a shared prefix store."""
         return ("simulated", str(self.policy.name), self.associativity)
 
+    # -------------------------------------------------------- kernel fast path
+
+    def kernel_policy(self) -> ReplacementPolicy:
+        """Return the policy whose Mealy semantics this interface realises.
+
+        Exposing this opts the interface into the tabulated execution
+        kernels (:mod:`repro.simkernel`): because the simulated cache starts
+        *full* (Flush+Refill content, never an invalid line), every probe
+        outcome is determined by the policy machine alone, so Polca's
+        answers over this interface coincide exactly with the policy's
+        Mealy outputs.  Hardware interfaces have no such guarantee and do
+        not implement this hook.
+        """
+        return self.policy
+
+    def count_kernel_probes(self, probes: int, accesses: int) -> None:
+        """Fold kernel-elided probe costs into the underlying cache counters."""
+        self._cache.count_kernel_probes(probes, accesses)
+
     # ----------------------------------------------------- measurement session
 
     def open_session(self) -> None:

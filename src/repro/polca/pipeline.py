@@ -100,6 +100,7 @@ class PolicyLearningPipeline:
         oracle_factory: Optional[OracleFactory] = None,
         resume: bool = False,
         store=None,
+        kernel: Optional[str] = "auto",
     ) -> None:
         if resume and workers is not None and workers > 1:
             raise LearningError(
@@ -119,6 +120,12 @@ class PolicyLearningPipeline:
         self.workers = workers
         self.oracle_factory = oracle_factory
         self.resume = resume
+        #: Execution strategy for Polca's probes over simulated targets:
+        #: ``"auto"`` (tabulated kernel when the policy tabulates, numpy
+        #: when importable), ``"python"``, ``"numpy"``, or ``"scalar"`` /
+        #: ``None`` for the legacy per-symbol stepper.  Answers and
+        #: statistics are identical across all settings.
+        self.kernel = kernel
         #: Optional shared :class:`~repro.store.PrefixStore` the query
         #: engine's trie lives in — pass the same instance backing the
         #: frontend's ``QueryCache`` (and/or a path-backed store) so one
@@ -140,7 +147,9 @@ class PolicyLearningPipeline:
         interface twice.
         """
         start = time.perf_counter()
-        polca = PolcaMembershipOracle(self.cache, resume=self.resume)
+        polca = PolcaMembershipOracle(
+            self.cache, resume=self.resume, kernel=self.kernel
+        )
         engine = CachedMembershipOracle(
             polca, store=self.store, namespace=self._engine_namespace()
         )
@@ -149,7 +158,7 @@ class PolicyLearningPipeline:
         if parallel:
             factory = self.oracle_factory
             if factory is None:
-                factory = oracle_factory_for_cache(self.cache)
+                factory = oracle_factory_for_cache(self.cache, kernel=self.kernel)
             # One pool serves both the observation-table fill and the
             # conformance tester; its per-worker accounting covers the run.
             pool = WorkerPool(factory, self.workers)
@@ -187,6 +196,7 @@ class PolicyLearningPipeline:
             )
         elapsed = time.perf_counter() - start
         extra = {
+            "kernel": polca.kernel_in_use,
             "cache_hits": result.statistics.cache_hits,
             "batches": result.statistics.batches,
             "tests_skipped": result.statistics.tests_skipped,

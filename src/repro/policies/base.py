@@ -18,7 +18,7 @@ into an explicit :class:`~repro.core.mealy.MealyMachine`.
 from __future__ import annotations
 
 import abc
-from typing import Hashable, Tuple
+from typing import Hashable, Optional, Tuple
 
 from repro.core.alphabet import (
     EVICT,
@@ -40,6 +40,17 @@ class ReplacementPolicy(abc.ABC):
 
     #: Short, human-readable policy name (e.g. ``"LRU"``); set by subclasses.
     name: str = "policy"
+
+    #: Whether this policy may be compiled into a flat transition table
+    #: (:meth:`tabulate`).  Policies whose control state space is unbounded
+    #: or data-dependent set this to ``False``; ``kernel="auto"`` consumers
+    #: then fall back to the scalar stepper.
+    supports_tabulation: bool = True
+
+    #: Reachable-state budget for :meth:`tabulate`.  ``None`` defers to
+    #: :data:`repro.simkernel.tables.DEFAULT_STATE_BOUND`; policies with a
+    #: known large-but-bounded state space can raise it.
+    tabulation_state_bound: Optional[int] = None
 
     def __init__(self, associativity: int) -> None:
         if associativity < 1:
@@ -120,6 +131,20 @@ class ReplacementPolicy(abc.ABC):
     def stepper(self) -> "PolicyStepper":
         """Return a mutable cursor over this policy, starting at the initial state."""
         return PolicyStepper(self)
+
+    def tabulate(self, *, max_states: Optional[int] = None):
+        """Compile this policy into a flat transition table.
+
+        Returns a :class:`~repro.simkernel.tables.TabulatedPolicy` for the
+        execution kernels in :mod:`repro.simkernel`.  The state bound is
+        ``max_states`` if given, else :attr:`tabulation_state_bound`, else
+        the subsystem default; exceeding it, or
+        ``supports_tabulation = False``, raises a clean
+        :class:`~repro.errors.PolicyError`.
+        """
+        from repro.simkernel.tables import tabulate_policy
+
+        return tabulate_policy(self, max_states=max_states)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"{type(self).__name__}(associativity={self.associativity})"

@@ -23,6 +23,7 @@ The default budget is intentionally small (seconds); the wide sweeps are
 from __future__ import annotations
 
 import random
+from dataclasses import asdict
 from typing import List, Tuple
 
 import pytest
@@ -36,6 +37,7 @@ from repro.polca.algorithm import PolcaMembershipOracle
 from repro.polca.interfaces import SimulatedCacheInterface
 from repro.polca.pipeline import learn_simulated_policy
 from repro.policies.registry import available_policies, make_policy
+from repro.simkernel import numpy_available
 
 #: Seeds for the default (fast) machine budget; every seed learns exactly at
 #: conformance depth 2 (verified — see the replay assertion below).
@@ -150,6 +152,45 @@ def _assert_policy_differential(policy_name: str) -> None:
         )
 
 
+def _assert_kernel_differential(policy_name: str) -> None:
+    """Every execution kernel learns field-for-field identical results.
+
+    The legacy scalar stepper is the reference; the tabulated pure-Python
+    and (when importable) numpy kernels must reproduce the machine, the
+    learning trajectory (rounds, counterexamples), the engine statistics
+    *and* Polca's probe accounting exactly — the kernel is an execution
+    strategy, never an observable.
+    """
+    depth = EXACT_DEPTH.get(policy_name, 1)
+    kernels = ["scalar", "python"] + (["numpy"] if numpy_available() else [])
+    reports = {
+        kernel: learn_simulated_policy(
+            make_policy(policy_name, ASSOCIATIVITY),
+            depth=depth,
+            identify=False,
+            kernel=kernel,
+        )
+        for kernel in kernels
+    }
+    reference = reports["scalar"]
+    assert reference.extra["kernel"] == "scalar"
+    for kernel in kernels[1:]:
+        report = reports[kernel]
+        assert report.extra["kernel"] == kernel
+        assert report.machine == reference.machine, f"{policy_name}/{kernel}: machines diverged"
+        assert report.learning_result.rounds == reference.learning_result.rounds
+        assert (
+            report.learning_result.counterexamples
+            == reference.learning_result.counterexamples
+        ), f"{policy_name}/{kernel}: counterexample sequences diverged"
+        assert asdict(report.learning_result.statistics) == asdict(
+            reference.learning_result.statistics
+        ), f"{policy_name}/{kernel}: engine statistics diverged"
+        assert asdict(report.polca_statistics) == asdict(
+            reference.polca_statistics
+        ), f"{policy_name}/{kernel}: Polca probe accounting diverged"
+
+
 def _seeded_policy_sample(count: int) -> List[str]:
     """A seeded random sample of registry policies (fast ones only)."""
     rng = random.Random("fuzz-policy-sample")
@@ -170,6 +211,11 @@ def test_random_policy_parallel_learning_is_identical(policy_name):
     _assert_policy_differential(policy_name)
 
 
+@pytest.mark.parametrize("policy_name", _seeded_policy_sample(3))
+def test_random_policy_kernels_are_identical(policy_name):
+    _assert_kernel_differential(policy_name)
+
+
 # ----------------------------------------------------------------- wide sweep
 
 
@@ -186,3 +232,12 @@ def test_random_machine_parallel_learning_is_identical_wide(seed):
 def test_every_policy_parallel_learning_is_identical_exact(policy_name):
     """The full registry at its exact depths (BRRIP included: seconds/run)."""
     _assert_policy_differential(policy_name)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "policy_name", [name for name in available_policies()]
+)
+def test_every_policy_kernels_are_identical_exact(policy_name):
+    """The full registry across every execution kernel."""
+    _assert_kernel_differential(policy_name)
