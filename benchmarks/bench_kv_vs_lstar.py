@@ -1,0 +1,270 @@
+"""L* vs Kearns–Vazirani: queries per discovered state across the registry.
+
+The acceptance experiment of the KV-learner PR, in three parts:
+
+* **Curve** — every registry policy at associativity 2, conformance depth
+  1, learned by both learners.  For each policy the benchmark records the
+  learner-attributed executed membership queries (engine total minus
+  conformance-suite executions — the apples-to-apples cost of the learning
+  algorithm, see ``LearningResult.learner_queries``), the engine totals,
+  and the queries-per-state ratio.  Both learners must produce bit-identical
+  minimal machines.
+* **Head-to-head** — the two configurations the PR's acceptance criteria
+  name: PLRU at associativity 8 (the paper's 128-state machine) and SRRIP-HP
+  at conformance depth 2.  KV must issue *strictly fewer* learner-attributed
+  queries than L* on both.
+* **Budgeted attempt** — PLRU-16 (32768 states) and SRRIP-HP-4 at depth 3
+  under a hard executed-query budget that neither learner can finish within
+  (L* cannot finish these in any practical budget; PLRU-16 alone is days of
+  compute).  The benchmark records how many states each learner discovered
+  when the budget cut it off, read live from ``ActiveLearner
+  .states_discovered``.
+
+Run standalone (``--json OUT`` writes a machine-readable result so the
+perf trajectory accumulates ``BENCH_*.json`` points)::
+
+    PYTHONPATH=src python benchmarks/bench_kv_vs_lstar.py --json BENCH_kv_vs_lstar.json
+
+or through pytest (the PLRU-8 head-to-head takes ~30 s and is marked slow)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_kv_vs_lstar.py -m "not slow"
+"""
+
+import argparse
+import json
+import sys
+import time
+
+import pytest
+
+from repro.errors import BudgetExceeded
+from repro.learning import CachedMembershipOracle, ConformanceEquivalenceOracle
+from repro.learning.learner import make_learner
+from repro.policies.registry import available_policies, make_policy
+from repro.polca.algorithm import PolcaMembershipOracle
+from repro.polca.interfaces import SimulatedCacheInterface
+from repro.polca.pipeline import learn_simulated_policy
+
+#: The acceptance head-to-heads: (policy, associativity, conformance depth).
+HEAD_TO_HEAD = [
+    ("PLRU", 8, 1),
+    ("SRRIP-HP", 2, 2),
+]
+
+#: Configurations L* cannot finish: (policy, associativity, depth, budget).
+#: PLRU-16 is the paper's 32768-state machine; SRRIP-HP-4 at depth 3 pairs a
+#: 178-state machine with a depth-3 Wp suite.  The budget counts *executed*
+#: membership queries through the shared engine.
+BUDGETED_ATTEMPTS = [
+    ("PLRU", 16, 1, 8_000),
+    ("SRRIP-HP", 4, 3, 8_000),
+]
+
+
+class QueryBudgetOracle:
+    """Wrap an oracle with a hard cap on executed queries.
+
+    Sits *below* the caching engine, so cache hits are free and only words
+    that really execute spend budget — the same accounting as the engine's
+    ``membership_queries`` statistic.  Exceeding the cap raises
+    :class:`~repro.errors.BudgetExceeded` out of the learning loop, leaving
+    the learner inspectable mid-run (``states_discovered``).
+    """
+
+    def __init__(self, inner, budget):
+        self.inner = inner
+        self.budget = budget
+        self.executed = 0
+
+    def output_query(self, word):
+        if self.executed >= self.budget:
+            raise BudgetExceeded(
+                "query budget exhausted", spent=self.executed, budget=self.budget
+            )
+        self.executed += 1
+        return self.inner.output_query(word)
+
+
+def run_pair(policy_name, associativity, depth):
+    """Learn one configuration with both learners; assert identical machines."""
+    entry = {
+        "policy": policy_name,
+        "associativity": associativity,
+        "depth": depth,
+    }
+    machines = {}
+    for learner_name in ("lstar", "kv"):
+        start = time.perf_counter()
+        report = learn_simulated_policy(
+            make_policy(policy_name, associativity),
+            depth=depth,
+            identify=False,
+            learner=learner_name,
+        )
+        seconds = time.perf_counter() - start
+        machines[learner_name] = report.machine
+        result = report.learning_result
+        entry[learner_name] = {
+            "states": report.num_states,
+            "learner_queries": result.learner_queries,
+            "total_queries": result.statistics.membership_queries,
+            "rounds": result.rounds,
+            "seconds": round(seconds, 3),
+        }
+    assert machines["kv"] == machines["lstar"], (
+        f"{policy_name}-{associativity}: KV learned a different machine than L*!"
+    )
+    entry["identical_machines"] = True
+    states = entry["lstar"]["states"]
+    entry["lstar_queries_per_state"] = round(entry["lstar"]["learner_queries"] / states, 2)
+    entry["kv_queries_per_state"] = round(entry["kv"]["learner_queries"] / states, 2)
+    return entry
+
+
+def run_budgeted(policy_name, associativity, depth, budget, learner_name):
+    """Learn under a hard executed-query budget; record where it cut off."""
+    cache = SimulatedCacheInterface(make_policy(policy_name, associativity))
+    polca = PolcaMembershipOracle(cache, kernel="auto")
+    limited = QueryBudgetOracle(polca, budget)
+    engine = CachedMembershipOracle(limited)
+    equivalence = ConformanceEquivalenceOracle(engine, depth=depth)
+    learner = make_learner(learner_name, polca.alphabet(), engine, equivalence)
+    start = time.perf_counter()
+    try:
+        result = learner.learn()
+        finished, states = True, result.num_states
+    except BudgetExceeded:
+        finished, states = False, learner.states_discovered
+    finally:
+        close = getattr(equivalence, "close", None)
+        if close is not None:
+            close()
+    return {
+        "finished": finished,
+        "states_discovered": states,
+        "executed_queries": limited.executed,
+        "seconds": round(time.perf_counter() - start, 3),
+    }
+
+
+def run_benchmark(policies=None):
+    """Produce the full BENCH payload (curve + head-to-heads + budgeted)."""
+    payload = {
+        "benchmark": "bench_kv_vs_lstar",
+        "curve": [],
+        "head_to_head": [],
+        "budgeted_attempts": [],
+    }
+    for policy_name in policies if policies is not None else available_policies():
+        payload["curve"].append(run_pair(policy_name, 2, 1))
+    for policy_name, associativity, depth in HEAD_TO_HEAD:
+        entry = run_pair(policy_name, associativity, depth)
+        entry["kv_strictly_fewer"] = (
+            entry["kv"]["learner_queries"] < entry["lstar"]["learner_queries"]
+        )
+        payload["head_to_head"].append(entry)
+    for policy_name, associativity, depth, budget in BUDGETED_ATTEMPTS:
+        entry = {
+            "policy": policy_name,
+            "associativity": associativity,
+            "depth": depth,
+            "budget": budget,
+        }
+        for learner_name in ("lstar", "kv"):
+            entry[learner_name] = run_budgeted(
+                policy_name, associativity, depth, budget, learner_name
+            )
+        payload["budgeted_attempts"].append(entry)
+    return payload
+
+
+def report_payload(payload):
+    print(f"{'policy':>10} {'states':>6} {'L* lq':>7} {'KV lq':>7} {'L* q/st':>8} {'KV q/st':>8}")
+    for entry in payload["curve"]:
+        print(
+            f"{entry['policy']:>10} {entry['lstar']['states']:>6} "
+            f"{entry['lstar']['learner_queries']:>7} {entry['kv']['learner_queries']:>7} "
+            f"{entry['lstar_queries_per_state']:>8} {entry['kv_queries_per_state']:>8}"
+        )
+    for entry in payload["head_to_head"]:
+        print(
+            f"head-to-head {entry['policy']}-{entry['associativity']} depth "
+            f"{entry['depth']}: L* {entry['lstar']['learner_queries']} vs KV "
+            f"{entry['kv']['learner_queries']} learner-attributed executed queries "
+            f"(KV strictly fewer: {entry['kv_strictly_fewer']})"
+        )
+    for entry in payload["budgeted_attempts"]:
+        print(
+            f"budgeted {entry['policy']}-{entry['associativity']} depth "
+            f"{entry['depth']} (budget {entry['budget']}): "
+            f"L* finished={entry['lstar']['finished']} at "
+            f"{entry['lstar']['states_discovered']} states, KV "
+            f"finished={entry['kv']['finished']} at "
+            f"{entry['kv']['states_discovered']} states"
+        )
+
+
+# --------------------------------------------------------------------- pytest
+
+
+def test_curve_smoke_identical_and_no_worse():
+    """Cheap registry slice: identical machines, KV learner-side no worse."""
+    for policy_name in ("LRU", "CLOCK", "SRRIP-FP"):
+        entry = run_pair(policy_name, 2, 1)
+        assert entry["identical_machines"]
+        assert entry["kv"]["learner_queries"] <= entry["lstar"]["learner_queries"]
+
+
+def test_head_to_head_srrip_depth2():
+    """SRRIP-HP at depth 2: KV strictly fewer learner-attributed queries."""
+    entry = run_pair("SRRIP-HP", 2, 2)
+    assert entry["identical_machines"]
+    assert entry["kv"]["learner_queries"] < entry["lstar"]["learner_queries"]
+
+
+@pytest.mark.slow
+def test_head_to_head_plru8():
+    """PLRU-8 (128 states): KV strictly fewer learner-attributed queries."""
+    entry = run_pair("PLRU", 8, 1)
+    assert entry["lstar"]["states"] == 128
+    assert entry["identical_machines"]
+    assert entry["kv"]["learner_queries"] < entry["lstar"]["learner_queries"]
+
+
+def test_budgeted_attempt_cuts_off_lstar():
+    """PLRU-16 under a query budget: L* cannot finish; mid-run states are live."""
+    outcome = run_budgeted("PLRU", 16, 1, 2_000, "lstar")
+    assert not outcome["finished"]
+    assert 0 < outcome["states_discovered"] < 32768
+    assert outcome["executed_queries"] == 2_000
+
+
+# ----------------------------------------------------------------- standalone
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json",
+        metavar="OUT",
+        default=None,
+        help="write the machine-readable result to this path "
+        "(the BENCH_*.json perf-trajectory format)",
+    )
+    arguments = parser.parse_args(sys.argv[1:] if argv is None else argv)
+    payload = run_benchmark()
+    report_payload(payload)
+    for entry in payload["head_to_head"]:
+        assert entry["kv_strictly_fewer"], (
+            f"{entry['policy']}-{entry['associativity']}: KV did not issue "
+            "strictly fewer learner-attributed queries than L*"
+        )
+    if arguments.json:
+        with open(arguments.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"\nwrote {arguments.json}")
+
+
+if __name__ == "__main__":
+    main()

@@ -160,6 +160,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "either way",
     )
     parser.add_argument(
+        "--learner",
+        choices=["lstar", "kv"],
+        default="lstar",
+        help="learning algorithm for table2/table4: lstar (observation table, "
+        "the paper's configuration) or kv (Kearns–Vazirani classification "
+        "tree — far fewer membership queries per discovered state on large "
+        "policies); both learn identical minimal machines",
+    )
+    parser.add_argument(
         "--json", action="store_true", help="emit raw results as JSON instead of tables"
     )
     arguments = parser.parse_args(argv)
@@ -171,6 +180,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "cache_path": arguments.cache_path,
         "resume": arguments.resume,
         "kernel": arguments.kernel,
+        "learner": arguments.learner,
     }
 
     if arguments.json:

@@ -78,6 +78,15 @@ class Table2Row:
     identified: Optional[str]
     cache_hits: int = 0
     tests_skipped: int = 0
+    #: Which student produced the row (``"lstar"`` / ``"kv"``) — kept per
+    #: row so mixed-learner sweeps stay honest about who asked how much.
+    learner: str = "lstar"
+    #: Executed membership queries per equivalence round, in round order.
+    per_round_queries: Tuple[int, ...] = ()
+    #: Executed queries attributed to the learner's own probes (engine total
+    #: minus conformance-suite executions) — the apples-to-apples cost when
+    #: comparing learners, since suite vocabulary overlap differs per learner.
+    learner_queries: int = 0
 
     @property
     def matches_paper(self) -> Optional[bool]:
@@ -131,6 +140,7 @@ def run_table2(
     store=None,
     cache_path: Optional[str] = None,
     kernel: Optional[str] = "auto",
+    learner: str = "lstar",
 ) -> List[Table2Row]:
     """Learn every configured policy from its software-simulated cache.
 
@@ -145,7 +155,9 @@ def run_table2(
     with a path the store is saved after every row, so an interrupted sweep
     resumes from what it already measured.  ``kernel`` selects the simulator
     execution strategy (``auto``/``python``/``numpy``/``scalar``); answers,
-    machines and probe columns are identical across kernels.
+    machines and probe columns are identical across kernels.  ``learner``
+    selects the student (``"lstar"`` or ``"kv"``); both learn identical
+    minimal machines, so state and match columns are learner-invariant.
     """
     if configurations is None:
         configurations = table2_configurations(mode)
@@ -164,6 +176,7 @@ def run_table2(
             resume=resume,
             store=store,
             kernel=kernel,
+            learner=learner,
         )
         elapsed = time.perf_counter() - start
         if store is not None:
@@ -181,6 +194,9 @@ def run_table2(
                 identified=report.identified_policy,
                 cache_hits=report.learning_result.statistics.cache_hits,
                 tests_skipped=report.learning_result.statistics.tests_skipped,
+                learner=report.learning_result.learner,
+                per_round_queries=tuple(report.learning_result.per_round_queries),
+                learner_queries=report.learning_result.learner_queries,
             )
         )
     return rows
@@ -191,6 +207,7 @@ def format_table2(rows: Sequence[Table2Row]) -> str:
     headers = (
         "Policy",
         "Assoc.",
+        "Learner",
         "# States",
         "Paper",
         "Match",
@@ -204,6 +221,7 @@ def format_table2(rows: Sequence[Table2Row]) -> str:
         (
             row.policy,
             row.associativity,
+            row.learner,
             row.learned_states,
             row.paper_states if row.paper_states is not None else "-",
             {True: "yes", False: "NO", None: "-"}[row.matches_paper],

@@ -97,6 +97,13 @@ class Table4Row:
     #: Executed membership queries of the shared query engine (like Table 2's
     #: column; worker-count-invariant since worker deltas merge on collect).
     membership_queries: int = 0
+    #: Which student produced the row (``"lstar"`` / ``"kv"``).
+    learner: str = "lstar"
+    #: Executed membership queries per equivalence round, in round order.
+    per_round_queries: tuple = ()
+    #: Executed queries attributed to the learner's own probes (engine total
+    #: minus conformance-suite executions).
+    learner_queries: int = 0
 
     @property
     def matches_paper_policy(self) -> Optional[bool]:
@@ -195,6 +202,7 @@ def run_table4_configuration(
     resume: bool = False,
     store=None,
     kernel: Optional[str] = "auto",
+    learner: str = "lstar",
 ) -> Table4Row:
     """Run the hardware-learning pipeline for one (CPU, level) target.
 
@@ -281,6 +289,7 @@ def run_table4_configuration(
         resume=resume,
         store=store,
         kernel=kernel,
+        learner=learner,
     )
     elapsed = time.perf_counter() - start
     store.save()  # no-op for in-memory stores
@@ -299,6 +308,9 @@ def run_table4_configuration(
         cache_hits=report.learning_result.statistics.cache_hits,
         tests_skipped=report.learning_result.statistics.tests_skipped,
         membership_queries=report.learning_result.statistics.membership_queries,
+        learner=report.learning_result.learner,
+        per_round_queries=tuple(report.learning_result.per_round_queries),
+        learner_queries=report.learning_result.learner_queries,
     )
 
 
@@ -313,6 +325,7 @@ def run_table4(
     store=None,
     cache_path: Optional[str] = None,
     kernel: Optional[str] = "auto",
+    learner: str = "lstar",
 ) -> List[Table4Row]:
     """Run the hardware-learning experiment for every configured target.
 
@@ -336,6 +349,7 @@ def run_table4(
             resume=resume,
             store=store,
             kernel=kernel,
+            learner=learner,
         )
         for configuration in configurations
     ]
@@ -348,6 +362,7 @@ def format_table4(rows: Sequence[Table4Row]) -> str:
         "Level",
         "Assoc.",
         "Set",
+        "Learner",
         "States",
         "Policy",
         "Paper policy",
@@ -363,6 +378,7 @@ def format_table4(rows: Sequence[Table4Row]) -> str:
             row.level,
             row.effective_associativity if row.effective_associativity is not None else "-",
             row.set_index if row.set_index is not None else "-",
+            row.learner,
             row.learned_states if row.learned_states is not None else "-",
             row.identified_policy or "-",
             row.paper_policy or "-",

@@ -69,7 +69,15 @@ from repro.learning.equivalence import (
     PerfectEquivalenceOracle,
     RandomWalkEquivalenceOracle,
 )
-from repro.learning.learner import LearningResult, MealyLearner, learn_mealy_machine
+from repro.learning.learner import (
+    ActiveLearner,
+    LEARNER_NAMES,
+    LearningResult,
+    MealyLearner,
+    learn_mealy_machine,
+    make_learner,
+)
+from repro.learning.kv import ClassificationTree, KVLearner
 
 __all__ = [
     "ResponseTrie",
@@ -105,7 +113,12 @@ __all__ = [
     "EquivalenceOracle",
     "PerfectEquivalenceOracle",
     "RandomWalkEquivalenceOracle",
+    "ActiveLearner",
+    "LEARNER_NAMES",
     "LearningResult",
     "MealyLearner",
     "learn_mealy_machine",
+    "make_learner",
+    "ClassificationTree",
+    "KVLearner",
 ]

@@ -1,8 +1,19 @@
 """The main learning loop (the student of Section 3.1).
 
-:class:`MealyLearner` ties the pieces together: it maintains an observation
-table against a membership oracle, builds hypotheses, asks the equivalence
-oracle for counterexamples and refines until no counterexample is found.
+Two learners implement the student side behind one interface:
+
+* :class:`MealyLearner` — Angluin's L* with an observation table
+  (:mod:`repro.learning.observation_table`), the paper's configuration;
+* :class:`~repro.learning.kv.KVLearner` — the Kearns–Vazirani
+  classification-tree learner (:mod:`repro.learning.kv`), which refines a
+  discrimination tree per counterexample instead of refilling an
+  O(|S×Σ|·|E|) table every round.
+
+Both share :class:`ActiveLearner`: the query-engine wrapping, worker-pool
+ownership, per-round executed-query accounting and statistics collection
+live here once, so the learners differ only in *how* they turn answers
+into hypotheses.  :func:`make_learner` builds either by name (the
+``--learner {lstar,kv}`` knob of the pipeline and CLI).
 
 The loop mirrors Section 3.4 of the paper: the membership oracle is Polca
 (or any other output-query oracle), the equivalence oracle is the k-deep
@@ -36,8 +47,11 @@ from repro.learning.parallel import OracleFactory, WorkerPool
 Input = Hashable
 Word = Tuple[Input, ...]
 
-#: Cache backends selectable via ``MealyLearner(cache_backend=...)``.
+#: Cache backends selectable via ``ActiveLearner(cache_backend=...)``.
 CACHE_BACKENDS = ("trie", "dict")
+
+#: Learner names accepted by :func:`make_learner` (and the ``--learner`` knob).
+LEARNER_NAMES = ("lstar", "kv")
 
 
 @dataclass
@@ -49,6 +63,19 @@ class LearningResult:
     learning_seconds: float
     statistics: QueryStatistics
     counterexamples: List[Word] = field(default_factory=list)
+    #: Executed membership queries per equivalence round, in round order
+    #: (the refinement that produced a round's hypothesis counts toward that
+    #: round).  Sums to ``statistics.membership_queries`` for cached engines.
+    per_round_queries: List[int] = field(default_factory=list)
+    #: Name of the learner that produced this result (``"lstar"`` / ``"kv"``).
+    learner: str = "lstar"
+    #: Executed membership queries attributed to the learner's own probes —
+    #: the engine total minus what the equivalence oracle executed through
+    #: the shared engine.  This is the apples-to-apples cost of the learning
+    #: algorithm itself: the conformance suite's vocabulary overlaps more
+    #: with L*'s table words than with KV's sift probes, so engine totals
+    #: mix the two cost centres.
+    learner_queries: int = 0
 
     @property
     def num_states(self) -> int:
@@ -66,8 +93,8 @@ class LearningResult:
         return self.statistics.tests_skipped == 0
 
 
-class MealyLearner:
-    """Observation-table L* learner for Mealy machines.
+class ActiveLearner:
+    """Shared scaffolding of the active-learning loop.
 
     Membership queries flow through the batched query engine: unless
     ``cache_queries`` is off, the oracle is wrapped in a
@@ -80,14 +107,19 @@ class MealyLearner:
 
     With ``workers=N`` (N > 1) and a picklable ``oracle_factory`` — or an
     existing :class:`~repro.learning.parallel.WorkerPool` via ``pool=`` —
-    the observation-table fill answers each stabilisation round's batch
-    across worker processes; answers merge back through the shared query
-    engine in chunk-index order, so parallel runs learn machines
-    bit-identical to serial ones.  An owned pool (built from ``workers=``)
-    is shut down when :meth:`learn` returns; a shared pool stays up for
-    its owner (typically the pipeline, which hands the same pool to the
-    conformance tester so one flag parallelizes the whole run).
+    the learner's per-round query batches (table fill for L*, sift rounds
+    for KV) fan out across worker processes; answers merge back through the
+    shared query engine in chunk-index order, so parallel runs learn
+    machines bit-identical to serial ones.  An owned pool (built from
+    ``workers=``) is shut down when :meth:`learn` returns; a shared pool
+    stays up for its owner (typically the pipeline, which hands the same
+    pool to the conformance tester so one flag parallelizes the whole run).
     """
+
+    #: Registry name of the learner; subclasses override.
+    name: str = ""
+    #: Counterexample strategies the learner accepts.
+    counterexample_strategies: Tuple[str, ...] = ("rivest-schapire", "prefixes")
 
     def __init__(
         self,
@@ -104,9 +136,11 @@ class MealyLearner:
         pool: Optional[WorkerPool] = None,
         fill_chunk_size: int = 64,
     ) -> None:
-        if counterexample_strategy not in ("rivest-schapire", "prefixes"):
+        if counterexample_strategy not in self.counterexample_strategies:
             raise LearningError(
-                f"unknown counterexample strategy {counterexample_strategy!r}"
+                f"learner {self.name!r} does not support counterexample strategy "
+                f"{counterexample_strategy!r}; expected one of "
+                f"{self.counterexample_strategies}"
             )
         if cache_backend not in CACHE_BACKENDS:
             raise LearningError(
@@ -137,6 +171,76 @@ class MealyLearner:
             self._owns_pool = True
         elif workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        self._suite_queries = 0
+
+    def learn(self) -> LearningResult:
+        """Run the learning loop until the equivalence oracle is satisfied."""
+        try:
+            return self._learn()
+        finally:
+            if self._owns_pool and self.pool is not None:
+                self.pool.close()
+
+    def _learn(self) -> LearningResult:
+        raise NotImplementedError  # pragma: no cover - subclasses implement
+
+    # ------------------------------------------------------------- accounting
+
+    @property
+    def states_discovered(self) -> int:
+        """States the learner has discovered so far (readable mid-run, e.g.
+        after a :class:`~repro.errors.BudgetExceeded` interrupted learning)."""
+        return 0  # pragma: no cover - subclasses override
+
+    def _executed_queries(self) -> int:
+        """Executed membership queries of the engine so far (0 if untracked)."""
+        statistics = getattr(self.membership_oracle, "statistics", None)
+        if isinstance(statistics, QueryStatistics):
+            return statistics.membership_queries
+        return 0
+
+    def _find_counterexample(self, hypothesis: MealyMachine):
+        """One equivalence query, attributing its executions to the suite.
+
+        The equivalence oracle usually shares the learner's query engine, so
+        its executed words land in the same counter as the learner's own
+        probes; snapshotting around the call splits the two cost centres and
+        feeds :attr:`LearningResult.learner_queries`.
+        """
+        before = self._executed_queries()
+        try:
+            return self.equivalence_oracle.find_counterexample(hypothesis)
+        finally:
+            self._suite_queries += self._executed_queries() - before
+
+    def _collect_statistics(self) -> QueryStatistics:
+        statistics = QueryStatistics()
+        for candidate in (self.membership_oracle, self.equivalence_oracle):
+            candidate_stats = getattr(candidate, "statistics", None)
+            if isinstance(candidate_stats, QueryStatistics):
+                statistics = statistics.merge(candidate_stats)
+        return statistics
+
+
+class MealyLearner(ActiveLearner):
+    """Observation-table L* learner for Mealy machines.
+
+    See :class:`ActiveLearner` for the engine/pool behaviour.  With a
+    parallel pool the observation-table fill answers each stabilisation
+    round's batch across worker processes.
+    """
+
+    name = "lstar"
+    counterexample_strategies = ("rivest-schapire", "prefixes")
+
+    #: The observation table of the current/most recent run (None before
+    #: :meth:`learn`); exposed so budget-interrupted runs stay inspectable.
+    table: Optional[ObservationTable] = None
+
+    @property
+    def states_discovered(self) -> int:
+        """Access words added as short rows so far (distinct rows ≈ states)."""
+        return len(self.table.short_prefixes) if self.table is not None else 0
 
     def _refine(self, table: ObservationTable, hypothesis: MealyMachine, counterexample: Word) -> None:
         if self.counterexample_strategy == "prefixes":
@@ -151,30 +255,28 @@ class MealyLearner:
             # spurious counterexample caused by an already-known suffix).
             process_counterexample_prefixes(table, counterexample)
 
-    def learn(self) -> LearningResult:
-        """Run the learning loop until the equivalence oracle is satisfied."""
-        try:
-            return self._learn()
-        finally:
-            if self._owns_pool and self.pool is not None:
-                self.pool.close()
-
     def _learn(self) -> LearningResult:
         start = time.perf_counter()
+        self._suite_queries = 0
+        origin = self._executed_queries()
+        round_mark = origin
+        per_round_queries: List[int] = []
         table = ObservationTable(
             self.alphabet,
             self.membership_oracle,
             pool=self.pool,
             chunk_size=self.fill_chunk_size,
         )
+        self.table = table
         counterexamples: List[Word] = []
 
         table.make_closed_and_consistent()
         hypothesis = table.hypothesis()
 
         for round_number in range(1, self.max_rounds + 1):
-            counterexample = self.equivalence_oracle.find_counterexample(hypothesis)
+            counterexample = self._find_counterexample(hypothesis)
             if counterexample is None:
+                per_round_queries.append(self._executed_queries() - round_mark)
                 elapsed = time.perf_counter() - start
                 return LearningResult(
                     machine=hypothesis.relabel(),
@@ -182,6 +284,11 @@ class MealyLearner:
                     learning_seconds=elapsed,
                     statistics=self._collect_statistics(),
                     counterexamples=counterexamples,
+                    per_round_queries=per_round_queries,
+                    learner=self.name,
+                    learner_queries=self._executed_queries()
+                    - origin
+                    - self._suite_queries,
                 )
             counterexamples.append(tuple(counterexample))
             previous_size = hypothesis.size
@@ -196,6 +303,8 @@ class MealyLearner:
                 process_counterexample_prefixes(table, tuple(counterexample))
                 table.make_closed_and_consistent()
                 hypothesis = table.hypothesis()
+            per_round_queries.append(self._executed_queries() - round_mark)
+            round_mark = self._executed_queries()
 
         raise BudgetExceeded(
             f"learning did not converge within {self.max_rounds} rounds",
@@ -203,21 +312,43 @@ class MealyLearner:
             budget=self.max_rounds,
         )
 
-    def _collect_statistics(self) -> QueryStatistics:
-        statistics = QueryStatistics()
-        for candidate in (self.membership_oracle, self.equivalence_oracle):
-            candidate_stats = getattr(candidate, "statistics", None)
-            if isinstance(candidate_stats, QueryStatistics):
-                statistics = statistics.merge(candidate_stats)
-        return statistics
+
+def make_learner(
+    name: str,
+    alphabet: Sequence[Input],
+    membership_oracle: MembershipOracle,
+    equivalence_oracle: EquivalenceOracle,
+    **kwargs,
+) -> ActiveLearner:
+    """Build a learner by registry name (``"lstar"`` or ``"kv"``).
+
+    This is the single construction point behind the ``--learner`` knob of
+    the pipeline, the experiment tables and the CLI; unknown names raise
+    :class:`~repro.errors.LearningError` so a typo fails loudly instead of
+    silently learning with the default algorithm.
+    """
+    normalized = name.lower()
+    if normalized == "lstar":
+        return MealyLearner(alphabet, membership_oracle, equivalence_oracle, **kwargs)
+    if normalized == "kv":
+        from repro.learning.kv import KVLearner
+
+        return KVLearner(alphabet, membership_oracle, equivalence_oracle, **kwargs)
+    raise LearningError(
+        f"unknown learner {name!r}; expected one of {LEARNER_NAMES}"
+    )
 
 
 def learn_mealy_machine(
     alphabet: Sequence[Input],
     membership_oracle: MembershipOracle,
     equivalence_oracle: EquivalenceOracle,
+    *,
+    learner: str = "lstar",
     **kwargs,
 ) -> LearningResult:
-    """Convenience wrapper: build a :class:`MealyLearner` and run it."""
-    learner = MealyLearner(alphabet, membership_oracle, equivalence_oracle, **kwargs)
-    return learner.learn()
+    """Convenience wrapper: build a learner (L* by default) and run it."""
+    instance = make_learner(
+        learner, alphabet, membership_oracle, equivalence_oracle, **kwargs
+    )
+    return instance.learn()

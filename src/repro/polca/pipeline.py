@@ -18,7 +18,7 @@ from typing import Optional, Sequence
 from repro.core.mealy import MealyMachine
 from repro.errors import LearningError
 from repro.learning.equivalence import ConformanceEquivalenceOracle
-from repro.learning.learner import LearningResult, MealyLearner
+from repro.learning.learner import LEARNER_NAMES, LearningResult, make_learner
 from repro.learning.oracles import CachedMembershipOracle
 from repro.learning.parallel import OracleFactory, WorkerPool, oracle_factory_for_cache
 from repro.polca.algorithm import PolcaMembershipOracle, PolcaStatistics
@@ -101,7 +101,12 @@ class PolicyLearningPipeline:
         resume: bool = False,
         store=None,
         kernel: Optional[str] = "auto",
+        learner: str = "lstar",
     ) -> None:
+        if learner.lower() not in LEARNER_NAMES:
+            raise LearningError(
+                f"unknown learner {learner!r}; expected one of {LEARNER_NAMES}"
+            )
         if resume and workers is not None and workers > 1:
             raise LearningError(
                 "resume sessions are stateful and inherently serial; they also "
@@ -120,6 +125,11 @@ class PolicyLearningPipeline:
         self.workers = workers
         self.oracle_factory = oracle_factory
         self.resume = resume
+        #: Which student runs the loop: ``"lstar"`` (observation table, the
+        #: paper's configuration) or ``"kv"`` (classification tree — far
+        #: fewer membership queries per discovered state on large policies).
+        #: Both learn the same minimal machine bit-identically.
+        self.learner = learner.lower()
         #: Execution strategy for Polca's probes over simulated targets:
         #: ``"auto"`` (tabulated kernel when the policy tabulates, numpy
         #: when importable), ``"python"``, ``"numpy"``, or ``"scalar"`` /
@@ -174,7 +184,8 @@ class PolicyLearningPipeline:
             batch_size=self.batch_size,
             pool=pool,
         )
-        learner = MealyLearner(
+        learner = make_learner(
+            self.learner,
             polca.alphabet(),
             engine,
             equivalence,
@@ -197,11 +208,20 @@ class PolicyLearningPipeline:
         elapsed = time.perf_counter() - start
         extra = {
             "kernel": polca.kernel_in_use,
+            "learner": result.learner,
+            "rounds": result.rounds,
+            "per_round_queries": list(result.per_round_queries),
+            "learner_queries": result.learner_queries,
             "cache_hits": result.statistics.cache_hits,
             "batches": result.statistics.batches,
             "tests_skipped": result.statistics.tests_skipped,
             "cached_prefixes": engine.size,
         }
+        tree = getattr(learner, "tree", None)
+        if tree is not None:
+            extra["kv_leaves_from_sifting"] = tree.leaves_from_sifting
+            extra["kv_leaves_from_splits"] = tree.leaves_from_splits
+            extra["kv_internal_refinements"] = tree.internal_refinements
         if self.resume:
             extra["resume"] = True
             extra["resumed_symbols"] = result.statistics.resumed_symbols

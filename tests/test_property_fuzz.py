@@ -23,6 +23,7 @@ The default budget is intentionally small (seconds); the wide sweeps are
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import asdict
 from typing import List, Tuple
 
@@ -30,6 +31,7 @@ import pytest
 
 from repro.core.mealy import MealyMachine
 from repro.learning.equivalence import ConformanceEquivalenceOracle
+from repro.learning.kv import KVLearner
 from repro.learning.learner import LearningResult, MealyLearner
 from repro.learning.oracles import CachedMembershipOracle, MealyMachineOracle
 from repro.learning.parallel import MealyMachineOracleFactory, WorkerPool
@@ -191,6 +193,54 @@ def _assert_kernel_differential(policy_name: str) -> None:
         ), f"{policy_name}/{kernel}: Polca probe accounting diverged"
 
 
+def _learn_machine_kv(machine: MealyMachine, workers: int = 1) -> LearningResult:
+    """Learn ``machine`` white-box with the classification-tree learner."""
+    engine = CachedMembershipOracle(MealyMachineOracle(machine))
+    if workers > 1:
+        with WorkerPool(MealyMachineOracleFactory(machine), workers) as pool:
+            equivalence = ConformanceEquivalenceOracle(engine, depth=2, pool=pool)
+            learner = KVLearner(machine.inputs, engine, equivalence, pool=pool)
+            return learner.learn()
+    equivalence = ConformanceEquivalenceOracle(engine, depth=2)
+    return KVLearner(machine.inputs, engine, equivalence).learn()
+
+
+def _assert_kv_machine_differential(seed: int) -> None:
+    """KV with Rivest–Schapire on a seeded random machine: the learned
+    machine must be bit-identical to L*'s and replay field-for-field
+    against the reference; a 2-worker pool must not change it either."""
+    reference = _random_mealy(seed)
+    lstar = _learn_machine(reference)
+    kv = _learn_machine_kv(reference)
+
+    assert kv.machine == lstar.machine, f"seed {seed}: KV and L* machines diverged"
+    assert kv.learner == "kv" and lstar.learner == "lstar"
+    assert kv.machine.size == reference.size
+    for word in _replay_words(f"machine-{seed}", tuple(reference.inputs)):
+        assert kv.machine.run(word) == reference.run(word), (
+            f"seed {seed}: KV-learned machine disagrees with the reference on {word!r}"
+        )
+
+    parallel = _learn_machine_kv(reference, workers=2)
+    assert parallel.machine == kv.machine, f"seed {seed}: parallel KV diverged"
+    assert parallel.rounds == kv.rounds
+    assert parallel.counterexamples == kv.counterexamples
+
+
+def _regression_machine(num_states: int, seed: int) -> MealyMachine:
+    """The generator of PR 4's non-minimal-hypothesis repro (string outputs,
+    no reachability pruning) — kept bit-compatible with test_learning's."""
+    rng = random.Random(seed)
+    inputs = [f"i{k}" for k in range(2)]
+    transitions = {}
+    outputs = {}
+    for state in range(num_states):
+        for symbol in inputs:
+            transitions[(state, symbol)] = rng.randrange(num_states)
+            outputs[(state, symbol)] = f"o{rng.randrange(2)}"
+    return MealyMachine(list(range(num_states)), 0, inputs, transitions, outputs)
+
+
 def _seeded_policy_sample(count: int) -> List[str]:
     """A seeded random sample of registry policies (fast ones only)."""
     rng = random.Random("fuzz-policy-sample")
@@ -204,6 +254,43 @@ def _seeded_policy_sample(count: int) -> List[str]:
 @pytest.mark.parametrize("seed", FAST_MACHINE_SEEDS)
 def test_random_machine_parallel_learning_is_identical(seed):
     _assert_machine_differential(seed)
+
+
+@pytest.mark.parametrize("seed", FAST_MACHINE_SEEDS)
+def test_random_machine_kv_learning_is_identical(seed):
+    _assert_kv_machine_differential(seed)
+
+
+def test_regression_seed_116_kv_hypotheses_are_minimal(monkeypatch):
+    """Port of PR 4's suffix-closure regression to the classification tree.
+
+    The seed-116 machine made L* hand non-minimal hypotheses to the Wp
+    suite before ``add_suffix`` learned to close the column set.  KV's
+    analogue is ``_stable_hypothesis``'s internal minimality repair: every
+    hypothesis that reaches the conformance tester must already be minimal,
+    so the suite's minimize-and-warn fallback (a RuntimeWarning) never
+    fires.
+    """
+    reference = _regression_machine(8, seed=116).minimize()
+    assert reference.size == 8
+    sizes = []
+    original = KVLearner._stable_hypothesis
+
+    def recording(self, tree):
+        hypothesis = original(self, tree)
+        sizes.append((hypothesis.size, hypothesis.minimize().size))
+        return hypothesis
+
+    monkeypatch.setattr(KVLearner, "_stable_hypothesis", recording)
+    engine = CachedMembershipOracle(MealyMachineOracle(reference))
+    equivalence = ConformanceEquivalenceOracle(engine, depth=2)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", RuntimeWarning)
+        result = KVLearner(reference.inputs, engine, equivalence).learn()
+    assert sizes, "instrumentation never saw a hypothesis"
+    assert all(size == minimal for size, minimal in sizes), sizes
+    assert result.machine.size == reference.size
+    assert reference.equivalent(result.machine)
 
 
 @pytest.mark.parametrize("policy_name", _seeded_policy_sample(3))
@@ -223,6 +310,12 @@ def test_random_policy_kernels_are_identical(policy_name):
 @pytest.mark.parametrize("seed", SLOW_MACHINE_SEEDS)
 def test_random_machine_parallel_learning_is_identical_wide(seed):
     _assert_machine_differential(seed)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", SLOW_MACHINE_SEEDS)
+def test_random_machine_kv_learning_is_identical_wide(seed):
+    _assert_kv_machine_differential(seed)
 
 
 @pytest.mark.slow
