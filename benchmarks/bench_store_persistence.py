@@ -1,27 +1,29 @@
-"""On-disk size and reload time: trie-backed prefix store vs. legacy JSON.
+"""On-disk size, reload time, per-row save cost and multi-writer throughput.
 
-The acceptance experiment of the unified-store PR: persist the response
-cache of a PLRU-8 conformance sweep twice —
+Three claims about the measurement store, each pinned by a benchmark:
 
-* **legacy format** — the pre-PR-5 ``QueryCache`` JSON: one object per
-  concrete query carrying the *full* query text (reset sequence included),
-  so bytes grow with ``suite words x average query length``;
-* **store codec** — the shared :class:`~repro.store.PrefixStore` trie:
-  queries sharing an operation prefix (every probe behind one reset
-  sequence, every extension of one access chain) store it once —
+* **size** (PR 5): the trie codec stores a PLRU conformance sweep in a
+  fraction of the legacy per-query JSON — queries sharing an operation
+  prefix store it once;
+* **per-row save cost** (this PR): the v2 append-log codec makes
+  ``store.save()`` after one learned row cost O(delta records), not
+  O(store) — measured by byte counting through
+  :func:`~repro.store.codec.track_store_io`, so the old rewrite-the-world
+  behaviour cannot silently return;
+* **concurrency** (this PR): N writer processes appending disjoint and
+  overlapping namespaces into one sharded corpus lose zero records and
+  corrupt zero shards across repeated seeded runs
+  (``--json BENCH_store_concurrency.json`` records the sweep).
 
-and compare file sizes and cold-reload wall clock.  The probe texts are
-derived *symbolically* from the PLRU reference machine (Polca's block
-mapping replayed against the machine's own outputs), so the benchmark
-measures storage, not simulation.
-
-The default profile uses the depth-1 suite of the 128-state PLRU-8 machine;
-``--full`` (or the slow-marked test) runs the paper-scale depth-2 sweep
-(~342k suite words).
+The probe texts are derived *symbolically* from the PLRU reference machine
+(Polca's block mapping replayed against the machine's own outputs), so the
+benchmarks measure storage, not simulation.
 
 Run standalone::
 
     PYTHONPATH=src python benchmarks/bench_store_persistence.py [--full]
+    PYTHONPATH=src python benchmarks/bench_store_persistence.py \\
+        --json BENCH_store_concurrency.json
 
 or through pytest::
 
@@ -31,6 +33,8 @@ or through pytest::
 from __future__ import annotations
 
 import json
+import os
+import subprocess
 import sys
 import tempfile
 import time
@@ -45,7 +49,7 @@ from repro.learning.wpmethod import iter_wp_method_suite
 from repro.polca.interfaces import default_block_names
 from repro.polca.reset import FlushRefillReset
 from repro.policies.registry import make_policy
-from repro.store import PrefixStore
+from repro.store import PrefixStore, ShardedStore, track_store_io
 
 #: Cap on suite words for the default (fast) profile.
 DEFAULT_WORD_CAP = 20_000
@@ -144,6 +148,122 @@ def assert_store_wins(metrics):
     assert metrics["store_nodes"] > 0
 
 
+# --------------------------------------------------------- per-row save cost
+
+
+def measure_delta_saves(rows: int = 200, entries_per_row: int = 40):
+    """Per-row save cost as the store grows: bytes written per ``save()``.
+
+    Simulates the run_table2/run_table4 discipline — record one row's worth
+    of measurements, save, repeat — and byte-counts every save.  With the
+    v1 whole-file codec the cost of save ``k`` grew linearly in ``k``; the
+    v2 append log keeps it flat.
+    """
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "store.json"
+        store = PrefixStore(str(path))
+        namespace = store.namespace(("bench", "delta"))
+        per_save_written = []
+        for row in range(rows):
+            for i in range(entries_per_row):
+                namespace.record(
+                    (f"row{row}", f"blk{i}", "probe"), (None, None, "Hit")
+                )
+            with track_store_io() as io:
+                store.save()
+            per_save_written.append(io.bytes_written)
+        final_size = path.stat().st_size
+    window = max(1, rows // 10)
+    early = sum(per_save_written[:window]) / window
+    late = sum(per_save_written[-window:]) / window
+    return {
+        "rows": rows,
+        "entries_per_row": entries_per_row,
+        "early_save_bytes": early,
+        "late_save_bytes": late,
+        "late_over_early": late / early if early else None,
+        "final_store_bytes": final_size,
+        "total_bytes_written": sum(per_save_written),
+        # What the v1 codec would have written: the final image, per row.
+        "o_store_bytes_written_estimate": final_size * rows,
+    }
+
+
+def assert_delta_saves_flat(metrics):
+    """The acceptance claim: save cost is O(delta), not O(store)."""
+    assert metrics["late_over_early"] < 3, (
+        f"late saves write {metrics['late_over_early']:.1f}x the bytes of "
+        "early saves: per-row cost is growing with the store again"
+    )
+    assert metrics["total_bytes_written"] < metrics["o_store_bytes_written_estimate"] / 10, (
+        "total bytes written is within 10x of the O(store) rewrite cost"
+    )
+
+
+# --------------------------------------------------------------- concurrency
+
+#: One benchmark writer: appends its own namespace plus a shared one into
+#: a sharded corpus, saving per record.
+_WRITER = """
+import sys
+from repro.store import ShardedStore
+
+corpus, writer_id, records = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+store = ShardedStore(corpus)
+own = store.namespace(("bench", "writer", writer_id))
+shared = store.namespace(("bench", "shared"))
+for i in range(records):
+    own.record((f"w{writer_id}", f"b{i}"), (None, "Hit"))
+    store.save()
+    shared.record((f"s{i % 7}", f"x{i}"), (None, "Miss"))
+    store.save()
+"""
+
+
+def measure_concurrency(n_writers: int = 4, records: int = 25, runs: int = 20):
+    """N concurrent writer processes into one sharded corpus, ``runs`` times.
+
+    Each run verifies zero lost records and zero corrupted shards before
+    counting; any violation raises.
+    """
+    wall_times = []
+    for run in range(runs):
+        with tempfile.TemporaryDirectory() as tmp:
+            corpus = Path(tmp) / "corpus.shards"
+            start = time.perf_counter()
+            processes = [
+                subprocess.Popen(
+                    [sys.executable, "-c", _WRITER, str(corpus), str(w), str(records)],
+                    env={**os.environ, "PYTHONPATH": "src"},
+                )
+                for w in range(n_writers)
+            ]
+            for process in processes:
+                code = process.wait(timeout=300)
+                assert code == 0, f"writer failed in run {run} (exit {code})"
+            wall_times.append(time.perf_counter() - start)
+
+            merged = ShardedStore(corpus)  # raises on any corrupted shard
+            for w in range(n_writers):
+                own = merged.namespace(("bench", "writer", w))
+                words = {word for word, _ in own.iter_entries()}
+                expected = {(f"w{w}", f"b{i}") for i in range(records)}
+                assert words == expected, f"run {run}: writer {w} lost records"
+            shared = merged.namespace(("bench", "shared"))
+            shared_words = {word for word, _ in shared.iter_entries()}
+            assert shared_words == {(f"s{i % 7}", f"x{i}") for i in range(records)}
+    total_records = n_writers * records * 2
+    return {
+        "writers": n_writers,
+        "records_per_writer": records * 2,
+        "runs": runs,
+        "lost_records": 0,
+        "corrupted_shards": 0,
+        "mean_run_seconds": sum(wall_times) / len(wall_times),
+        "records_per_second": total_records / (sum(wall_times) / len(wall_times)),
+    }
+
+
 # --------------------------------------------------------------------- pytest
 
 
@@ -154,6 +274,19 @@ def test_store_persistence_smoke_plru8_depth1():
     assert_store_wins(metrics)
 
 
+def test_per_row_save_is_o_delta_smoke():
+    """Fast profile: per-row save cost stays flat as the store grows."""
+    metrics = measure_delta_saves(rows=60, entries_per_row=20)
+    assert_delta_saves_flat(metrics)
+
+
+def test_concurrent_writers_smoke():
+    """Fast profile: two runs of 4 concurrent writers, nothing lost."""
+    metrics = measure_concurrency(n_writers=4, records=10, runs=2)
+    assert metrics["lost_records"] == 0
+    assert metrics["corrupted_shards"] == 0
+
+
 @pytest.mark.slow
 def test_store_persistence_plru8_depth2_full():
     """The acceptance configuration: the full PLRU-8 depth-2 sweep (~342k words)."""
@@ -161,6 +294,14 @@ def test_store_persistence_plru8_depth2_full():
     assert metrics["entries"] > 100_000
     assert_store_wins(metrics)
     report(metrics)
+
+
+@pytest.mark.slow
+def test_concurrent_writers_twenty_seeded_runs():
+    """The acceptance configuration: 20 runs of N=4 writers, zero losses."""
+    metrics = measure_concurrency(n_writers=4, records=25, runs=20)
+    assert metrics["lost_records"] == 0
+    assert metrics["corrupted_shards"] == 0
 
 
 # ----------------------------------------------------------------- standalone
@@ -177,6 +318,45 @@ def main(argv=None):
         assert_store_wins(metrics)
         report(metrics)
     print("\nTrie-backed store measurably smaller than legacy JSON. OK")
+
+    print("\n== Per-row save cost (v2 append log) ==")
+    delta = measure_delta_saves()
+    assert_delta_saves_flat(delta)
+    print(
+        f"{delta['rows']} rows x {delta['entries_per_row']} entries: "
+        f"early saves {delta['early_save_bytes']:.0f} B, late saves "
+        f"{delta['late_save_bytes']:.0f} B (x{delta['late_over_early']:.2f}); "
+        f"total written {delta['total_bytes_written'] / 1024:.0f} KiB vs "
+        f"{delta['o_store_bytes_written_estimate'] / 1024 / 1024:.1f} MiB "
+        "for the O(store) rewrite"
+    )
+
+    print("\n== Concurrent writers into one sharded corpus ==")
+    runs = 20 if "--full" in argv or "--json" in argv else 3
+    concurrency = measure_concurrency(runs=runs)
+    print(
+        f"{concurrency['writers']} writers x {concurrency['records_per_writer']} "
+        f"records x {concurrency['runs']} runs: "
+        f"{concurrency['lost_records']} lost records, "
+        f"{concurrency['corrupted_shards']} corrupted shards, "
+        f"{concurrency['mean_run_seconds'] * 1000:.0f} ms/run "
+        f"({concurrency['records_per_second']:.0f} records/s)"
+    )
+
+    if "--json" in argv:
+        out = Path(argv[argv.index("--json") + 1])
+        out.write_text(
+            json.dumps(
+                {
+                    "benchmark": "bench_store_concurrency",
+                    "per_row_save": delta,
+                    "concurrency": concurrency,
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+        print(f"\nwrote {out}")
 
 
 if __name__ == "__main__":

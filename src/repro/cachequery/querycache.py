@@ -30,6 +30,7 @@ codec on the next :meth:`QueryCache.save`.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import List, Optional, Sequence, Tuple
 
@@ -95,21 +96,73 @@ class QueryCache:
             if self._path is None:
                 self._path = store.path
         else:
-            self.store = PrefixStore()
-            self.store.path = self._path
+            self.store = self._open_private_store(path)
         self.hits = 0
         self.misses = 0
-        if self._path is not None and self._path.exists() and not self._loaded_marker():
+        if (
+            self._path is not None
+            and not getattr(self.store, "sharded", False)
+            and self._path.is_file()
+            and not self._loaded_marker()
+        ):
             self._load()
 
-    def _loaded_marker(self) -> bool:
-        """True when the shared store already holds this file's namespaces.
+    @staticmethod
+    def _open_private_store(path: Optional[str]):
+        """Open the cache's own backing store for ``path``.
 
-        A store created with ``PrefixStore(path)`` loads the file itself;
+        A directory (or ``.shards``-suffixed / trailing-separator path)
+        opens a sharded corpus; an existing native store file opens
+        (and, for v1, migrates) through :class:`~repro.store.PrefixStore`
+        directly so its append-log sync state is adopted; anything else —
+        a fresh path or a legacy flat-JSON cache — gets an empty store
+        bound to the path, and :meth:`_load` migrates the legacy content.
+        """
+        if path is None:
+            return PrefixStore()
+        from repro.store.codec import read_first_line
+        from repro.store.shards import open_store
+
+        target = Path(path)
+        if target.is_dir() or str(path).endswith(os.sep) or target.suffix == ".shards":
+            return open_store(path)
+        if target.exists():
+            try:
+                header = json.loads(read_first_line(target))
+            except OSError as exc:
+                raise CacheQueryError(
+                    f"query cache file {target} is unreadable or corrupted "
+                    f"({exc}); delete it to start with an empty cache"
+                ) from exc
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                header = None
+            if is_store_document(header):
+                try:
+                    return PrefixStore(str(target))
+                except StoreError as exc:
+                    raise CacheQueryError(str(exc)) from exc
+                except NonDeterminismError as exc:
+                    raise CacheQueryError(
+                        f"query cache file {target} contains conflicting "
+                        f"measurements for a shared operation prefix ({exc}); "
+                        "the recorded system was not deterministic — delete "
+                        "the file to start with an empty cache"
+                    ) from exc
+        store = PrefixStore()
+        store.path = target
+        return store
+
+    def _loaded_marker(self) -> bool:
+        """True when the backing store already holds this file's namespaces.
+
+        A store created with ``PrefixStore(path)`` loads the file itself
+        (its :attr:`~repro.store.PrefixStore.load_report` says so);
         joining such a store must not migrate/load the same file twice.
         """
         if self.store.path != self._path:
             return False
+        if getattr(self.store, "load_report", None) is not None:
+            return True
         return any(key and key[0] == FRONTEND_NAMESPACE for key in self.store.namespaces())
 
     # ------------------------------------------------------------- namespaces
@@ -236,29 +289,47 @@ class QueryCache:
         migrated into the trie on load and rewritten in the store codec by
         the next :meth:`save`.
         """
+        from repro.store.codec import load_store_file, read_first_line
+
         try:
-            raw = json.loads(self._path.read_text())
-        except (OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+            header = json.loads(read_first_line(self._path))
+        except OSError as exc:
             raise CacheQueryError(
                 f"query cache file {self._path} is unreadable or corrupted "
                 f"({exc}); delete it to start with an empty cache"
             ) from exc
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            header = None
         staging = PrefixStore()
-        if is_store_document(raw):
-            from repro.store.codec import load_store_document
-
+        foreign = True  # until proven a current-format native file
+        if is_store_document(header):
             try:
-                load_store_document(self._path, raw, staging)
+                report = load_store_file(self._path, staging)
             except StoreError as exc:
                 raise CacheQueryError(str(exc)) from exc
-        elif isinstance(raw, list):
-            self._migrate_legacy(raw, staging)
+            except NonDeterminismError as exc:
+                raise CacheQueryError(
+                    f"query cache file {self._path} contains conflicting "
+                    f"measurements for a shared operation prefix ({exc}); "
+                    "the recorded system was not deterministic — delete the "
+                    "file to start with an empty cache"
+                ) from exc
+            foreign = report.migrated
         else:
-            raise CacheQueryError(
-                f"query cache file {self._path} is malformed: expected a JSON "
-                f"list of entries (legacy format) or a prefix-store document, "
-                f"got {type(raw).__name__}"
-            )
+            try:
+                raw = json.loads(self._path.read_text())
+            except (OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise CacheQueryError(
+                    f"query cache file {self._path} is unreadable or corrupted "
+                    f"({exc}); delete it to start with an empty cache"
+                ) from exc
+            if not isinstance(raw, list):
+                raise CacheQueryError(
+                    f"query cache file {self._path} is malformed: expected a JSON "
+                    f"list of entries (legacy format) or a prefix-store document, "
+                    f"got {type(raw).__name__}"
+                )
+            self._migrate_legacy(raw, staging)
         try:
             for key in staging.namespaces():
                 self.store.namespace(key).merge(staging.namespace(key))
@@ -268,6 +339,11 @@ class QueryCache:
                 f"already in the shared store ({exc}); the two sources "
                 "disagree about the same operation prefix"
             ) from exc
+        if foreign and self.store.path == self._path:
+            # The on-disk bytes are not a v2 append log (legacy JSON or a
+            # v1 document loaded sideways): the next save must rewrite a
+            # full snapshot rather than try to append to foreign content.
+            self.store.require_snapshot()
 
     def _migrate_legacy(self, raw: list, staging: PrefixStore) -> None:
         """Decode a legacy flat-JSON cache into ``staging``, validating every entry."""

@@ -32,9 +32,12 @@ from repro.experiments.table5 import format_table5, run_table5
 def _make_store(cache_path: Optional[str]):
     if cache_path is None:
         return None
-    from repro.store import PrefixStore
+    from repro.store import open_store
 
-    return PrefixStore(cache_path)
+    # A directory (or trailing-separator / .shards path) opens a sharded
+    # corpus — one append-log file per namespace — a plain file the classic
+    # single-file store.
+    return open_store(cache_path)
 
 
 def _print_store(store, rows) -> None:
@@ -48,10 +51,9 @@ def _print_store(store, rows) -> None:
 
 def _print_table2(mode: str, workers: Optional[int], **kwargs) -> None:
     print("== Table 2: learning from software-simulated caches ==")
-    store = _make_store(kwargs.pop("cache_path", None))
-    rows = run_table2(mode, workers=workers, store=store, **kwargs)
+    rows = run_table2(mode, workers=workers, **kwargs)
     print(format_table2(rows))
-    _print_store(store, rows)
+    _print_store(kwargs.get("store"), rows)
 
 
 def _print_table3() -> None:
@@ -61,10 +63,9 @@ def _print_table3() -> None:
 
 def _print_table4(mode: str, workers: Optional[int], **kwargs) -> None:
     print("== Table 4: learning from (simulated) hardware via CacheQuery ==")
-    store = _make_store(kwargs.pop("cache_path", None))
-    rows = run_table4(mode, workers=workers, store=store, **kwargs)
+    rows = run_table4(mode, workers=workers, **kwargs)
     print(format_table4(rows))
-    _print_store(store, rows)
+    _print_store(kwargs.get("store"), rows)
 
 
 def _print_table5(mode: str) -> None:
@@ -141,6 +142,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "interrupted sweep resumes from what it already measured",
     )
     parser.add_argument(
+        "--store-compact",
+        action="store_true",
+        help="after the run, fold the --cache-path store's append log back "
+        "into a compact snapshot (every shard, for sharded directory "
+        "corpora); saves happen incrementally either way",
+    )
+    parser.add_argument(
         "--resume",
         action="store_true",
         help="answer each query by executing only its un-cached suffix through "
@@ -176,8 +184,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error("--workers must be >= 1")
     if arguments.resume and arguments.workers is not None and arguments.workers > 1:
         parser.error("--resume is serial-only; drop it or use --workers 1")
+    if arguments.store_compact and arguments.cache_path is None:
+        parser.error("--store-compact needs --cache-path")
+    store = _make_store(arguments.cache_path)
     learning_kwargs = {
-        "cache_path": arguments.cache_path,
+        "store": store,
         "resume": arguments.resume,
         "kernel": arguments.kernel,
         "learner": arguments.learner,
@@ -206,6 +217,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             ]
         json.dump(payload, sys.stdout, indent=2, default=str)
         print()
+        if store is not None and arguments.store_compact:
+            store.compact()
         return 0
 
     if arguments.experiment in ("table2", "all"):
@@ -220,6 +233,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         _print_overhead(arguments.mode)
     if arguments.experiment in ("leader-sets", "all"):
         _print_leader_sets(arguments.sets)
+    if store is not None and arguments.store_compact:
+        store.compact()
     return 0
 
 

@@ -162,9 +162,9 @@ def run_table2(
     if configurations is None:
         configurations = table2_configurations(mode)
     if store is None and cache_path is not None:
-        from repro.store import PrefixStore
+        from repro.store import open_store
 
-        store = PrefixStore(cache_path)
+        store = open_store(cache_path)
     rows: List[Table2Row] = []
     for policy_name, associativity in configurations:
         policy = make_policy(policy_name, associativity)

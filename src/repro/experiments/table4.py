@@ -337,9 +337,9 @@ def run_table4(
     if configurations is None:
         configurations = table4_configurations(mode)
     if store is None and cache_path is not None:
-        from repro.store import PrefixStore
+        from repro.store import open_store
 
-        store = PrefixStore(cache_path)
+        store = open_store(cache_path)
     return [
         run_table4_configuration(
             configuration,

@@ -22,25 +22,50 @@ views over:
   :class:`~repro.errors.NonDeterminismError` when a known payload
   disagrees — the same broken-reset detection the learning trie performs
   (paper Section 7.1);
-* a **versioned on-disk codec** with atomic writes and corruption
-  diagnostics (see :mod:`repro.store.codec`).
+* an **append-log on-disk codec** (version 2, :mod:`repro.store.codec`):
+  every mutation since the last save is journaled, so saving appends only
+  the delta — O(changes), not O(store) — with periodic compaction back to
+  a compact snapshot;
+* a **multi-writer file protocol**: saves take an advisory ``fcntl`` lock
+  on a sibling ``<file>.lock``, first replay whatever other writers
+  appended (or a whole compacted file) into memory — raising
+  :class:`~repro.errors.NonDeterminismError` when two writers measured
+  the same prefix differently — and only then append their own delta.
+  Readers never lock: they tolerate a concurrent appender by dropping a
+  torn final line (see :class:`~repro.store.codec.LoadReport`).
 
 The store is deliberately generic: symbols are hashable keys (strings
 persist natively; other types persist through the codec's symbol registry),
 payloads are JSON scalars, and no learning- or MBL-specific logic lives
-here.
+here.  For corpora shared by many independent sweeps, see
+:class:`~repro.store.shards.ShardedStore`, which spreads namespaces over
+one file (one lock, one log) per namespace key.
 """
 
 from __future__ import annotations
 
+import os
+from contextlib import contextmanager
+from pathlib import Path
 from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
 
-from repro.errors import NonDeterminismError, StoreError
+from repro.errors import NonDeterminismError, StoreCorruptionError, StoreError
+
+try:  # pragma: no cover - POSIX everywhere we run; gate for portability
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None
 
 Symbol = Hashable
 Payload = Optional[Hashable]
 Word = Tuple[Symbol, ...]
 NamespaceKey = Tuple[Hashable, ...]
+
+#: Append-log bytes that trigger an automatic compaction on save: the log
+#: must exceed both this floor and the snapshot it extends (so small
+#: stores never churn and big stores compact once the replay cost of the
+#: tail rivals the snapshot itself).
+AUTO_COMPACT_MIN_BYTES = 64 * 1024
 
 
 class _StoreNode:
@@ -74,11 +99,14 @@ def _subtree_counts(node: _StoreNode) -> Tuple[int, int]:
 class PrefixNamespace:
     """One independent trie of a :class:`PrefixStore` (one cache target)."""
 
-    def __init__(self, key: NamespaceKey) -> None:
+    def __init__(self, key: NamespaceKey, owner: Optional["PrefixStore"] = None) -> None:
         self.key = key
         self._root = _StoreNode()
         self._nodes = 0
         self._entries = 0
+        #: The store this namespace journals its mutations to (None for
+        #: standalone namespaces, e.g. scratch staging).
+        self._owner = owner
 
     # ------------------------------------------------------------------ sizes
 
@@ -170,6 +198,7 @@ class PrefixNamespace:
                 )
         node = self._root
         stored: List[Payload] = []
+        changed = False
         for position, symbol in enumerate(word):
             child = node.children.get(symbol)
             if child is None:
@@ -177,9 +206,11 @@ class PrefixNamespace:
                 child.payload = payloads[position]
                 node.children[symbol] = child
                 self._nodes += 1
+                changed = True
             elif payloads[position] is not None:
                 if child.payload is None:
                     child.payload = payloads[position]
+                    changed = True
                 elif child.payload != payloads[position]:
                     raise NonDeterminismError(
                         word[: position + 1],
@@ -192,6 +223,9 @@ class PrefixNamespace:
         if new_entry:
             node.terminal = True
             self._entries += 1
+            changed = True
+        if changed and self._owner is not None:
+            self._owner._journal_record(self.key, word, payloads, terminal)
         return new_entry
 
     # --------------------------------------------------------------- merging
@@ -229,6 +263,12 @@ class PrefixNamespace:
                             word, (my_child.payload,), (their_child.payload,)
                         )
                 stack.append((my_child, their_child, word))
+        if self._owner is not None:
+            # Journal the graft as replayable records.  Re-journaling paths
+            # this trie already held is harmless (replay is idempotent) and
+            # the next compaction folds the log back into the snapshot.
+            for word, payloads, terminal in other.iter_paths():
+                self._owner._journal_record(self.key, word, payloads, terminal)
 
     # -------------------------------------------------------------- iteration
 
@@ -243,32 +283,143 @@ class PrefixNamespace:
                 child = node.children[symbol]
                 stack.append((child, word + (symbol,), payloads + (child.payload,)))
 
+    def iter_paths(self) -> Iterator[Tuple[Word, Tuple[Payload, ...], bool]]:
+        """Yield ``(word, payloads, terminal)`` records that rebuild this trie.
+
+        Every maximal path (leaf) and every terminal-marked node is
+        yielded, so replaying the records through :meth:`record`
+        reconstructs the exact node set, payloads and terminal marks —
+        the delta-journal encoding of a whole namespace.
+        """
+        if self._root.terminal:
+            yield (), (), True
+        stack: List[Tuple[_StoreNode, Word, Tuple[Payload, ...]]] = [(self._root, (), ())]
+        while stack:
+            node, word, payloads = stack.pop()
+            for symbol in sorted(node.children, key=repr, reverse=True):
+                child = node.children[symbol]
+                child_word = word + (symbol,)
+                child_payloads = payloads + (child.payload,)
+                if child.terminal or not child.children:
+                    yield child_word, child_payloads, child.terminal
+                stack.append((child, child_word, child_payloads))
+
     def clear(self) -> None:
         """Drop every stored path and entry."""
         self._root = _StoreNode()
         self._nodes = 0
         self._entries = 0
+        if self._owner is not None:
+            self._owner._note_structural_change()
 
 
 class PrefixStore:
     """A namespaced collection of prefix tries with optional persistence.
 
-    ``PrefixStore(path)`` loads the file when it exists (accepting both the
-    native codec format and, for callers that route through
+    ``PrefixStore(path)`` loads the file when it exists (the v2 append-log
+    codec, the v1 whole-file codec — migrated to v2 on open — and, for
+    callers that route through
     :class:`~repro.cachequery.querycache.QueryCache`, legacy flat-JSON
-    caches via migration); :meth:`save` writes the whole store back
-    atomically.  A store without a path is purely in-memory.
+    caches via migration); :meth:`save` appends the journaled delta since
+    the last save, compacting back to a snapshot when the log outgrows it.
+    A store without a path is purely in-memory and journals nothing.
     """
 
-    def __init__(self, path: Optional[str] = None) -> None:
-        from pathlib import Path
+    #: Duck-typing marker consumers use to tell file-backed stores from
+    #: directory-backed :class:`~repro.store.shards.ShardedStore` corpora.
+    sharded = False
 
-        self.path = Path(path) if path is not None else None
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        *,
+        header_extra: Optional[dict] = None,
+    ) -> None:
+        self._path = Path(path) if path is not None else None
         self._namespaces: Dict[NamespaceKey, PrefixNamespace] = {}
-        if self.path is not None and self.path.exists():
+        #: Replayable mutation records (key, word, payloads, terminal)
+        #: accumulated since the last save; only kept for path-backed stores.
+        self._journal: List[tuple] = []
+        self._journal_suspended = 0
+        #: Extra header fields persisted in the v2 header line (e.g. the
+        #: shard key a :class:`~repro.store.shards.ShardedStore` stamps).
+        self.header_extra = dict(header_extra) if header_extra else {}
+        #: Set when the in-memory state cannot be expressed as an append
+        #: (cleared namespaces, adopted pre-existing data, v1 migration):
+        #: the next save rewrites a full snapshot.
+        self._needs_snapshot = False
+        #: Log-position bookkeeping for the multi-writer protocol: the
+        #: compaction generation and byte offset this process has synced
+        #: to.  ``generation=-1`` forces a full re-read on the next save.
+        self._generation = -1
+        self._synced_offset = 0
+        self._snapshot_end = 0
+        #: :class:`~repro.store.codec.LoadReport` of the last file load
+        #: (None for fresh/in-memory stores).
+        self.load_report = None
+        if self._path is not None and self._path.exists():
             from repro.store.codec import load_store_file
 
-            load_store_file(self.path, self)
+            with self._suspended_journal():
+                self.load_report = load_store_file(self._path, self)
+            self._generation = self.load_report.generation
+            self._synced_offset = self.load_report.valid_end
+            self._snapshot_end = self.load_report.snapshot_end
+            if self.load_report.header_extra and not self.header_extra:
+                self.header_extra = dict(self.load_report.header_extra)
+            if self.load_report.migrated:
+                self._migrate_on_open()
+
+    # -------------------------------------------------------------- journaling
+
+    @property
+    def path(self) -> Optional[Path]:
+        """The backing file (None for in-memory stores)."""
+        return self._path
+
+    @path.setter
+    def path(self, value) -> None:
+        self._path = Path(value) if value is not None else None
+        self._generation = -1
+        self._synced_offset = 0
+        self._snapshot_end = 0
+        if self._namespaces:
+            # Data recorded before the path existed was never journaled:
+            # the first save must write a full snapshot.
+            self._needs_snapshot = True
+
+    def _journal_record(self, key, word, payloads, terminal) -> None:
+        if self._path is None or self._journal_suspended:
+            return
+        self._journal.append((key, tuple(word), tuple(payloads), bool(terminal)))
+
+    def _note_structural_change(self) -> None:
+        """A mutation happened that an append cannot express (e.g. clear)."""
+        self._needs_snapshot = True
+        self._journal.clear()
+
+    def require_snapshot(self) -> None:
+        """Force the next :meth:`save` to rewrite a full snapshot.
+
+        Callers use this after adopting content that is not a v2 append
+        log — e.g. :class:`~repro.cachequery.querycache.QueryCache`
+        migrating a legacy flat-JSON cache in place.
+        """
+        self._note_structural_change()
+
+    @contextmanager
+    def _suspended_journal(self):
+        """Mutations inside the block are already durable — don't journal them."""
+        self._journal_suspended += 1
+        try:
+            yield
+        finally:
+            self._journal_suspended -= 1
+
+    @property
+    def pending_records(self) -> int:
+        """Journal records waiting for the next :meth:`save`."""
+        return len(self._journal)
 
     # -------------------------------------------------------------- namespaces
 
@@ -277,7 +428,7 @@ class PrefixStore:
         key = tuple(key)
         namespace = self._namespaces.get(key)
         if namespace is None:
-            namespace = PrefixNamespace(key)
+            namespace = PrefixNamespace(key, owner=self)
             self._namespaces[key] = namespace
         return namespace
 
@@ -287,7 +438,9 @@ class PrefixStore:
 
     def drop_namespace(self, key: Sequence[Hashable]) -> None:
         """Remove one namespace (a no-op when it does not exist)."""
-        self._namespaces.pop(tuple(key), None)
+        dropped = self._namespaces.pop(tuple(key), None)
+        if dropped is not None:
+            self._note_structural_change()
 
     # ------------------------------------------------------------------ totals
 
@@ -304,32 +457,188 @@ class PrefixStore:
     def statistics(self) -> Dict[str, object]:
         """Size summary for reports: namespaces, entries, nodes, on-disk bytes."""
         on_disk = (
-            self.path.stat().st_size if self.path is not None and self.path.exists() else 0
+            self._path.stat().st_size
+            if self._path is not None and self._path.exists()
+            else 0
         )
         return {
-            "path": str(self.path) if self.path is not None else None,
+            "path": str(self._path) if self._path is not None else None,
             "namespaces": len(self._namespaces),
             "entries": self.entry_count,
             "nodes": self.node_count,
             "bytes_on_disk": on_disk,
+            "generation": self._generation,
+            "log_bytes": max(0, self._synced_offset - self._snapshot_end),
+            "pending_records": len(self._journal),
+            "sharded": False,
         }
 
     def clear(self) -> None:
         """Drop every namespace."""
         self._namespaces.clear()
+        self._note_structural_change()
 
     # ------------------------------------------------------------- persistence
 
-    def save(self, path: Optional[str] = None) -> None:
-        """Atomically write the store to ``path`` (default: its own path).
+    @contextmanager
+    def _writer_lock(self):
+        """Advisory exclusive lock serialising writers on this store file.
 
-        A no-op for purely in-memory stores called without a path.
+        The lock lives on a sibling ``<file>.lock`` that is never replaced,
+        so it survives compaction's :func:`os.replace` of the store file
+        itself.  Readers never take it.
         """
-        from pathlib import Path
+        lock_path = self._path.parent / f"{self._path.name}.lock"
+        fd = os.open(lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
 
-        from repro.store.codec import save_store_file
+    def _migrate_on_open(self) -> None:
+        """Rewrite a just-loaded v1 file in the v2 append-log format."""
+        from repro.store.codec import STORE_VERSION, read_header, write_snapshot_file
 
-        target = Path(path) if path is not None else self.path
+        try:
+            with self._writer_lock():
+                # Re-check under the lock: another process may have migrated
+                # (and appended!) between our read and our lock acquisition.
+                version, _generation = read_header(self._path)
+                if version < STORE_VERSION:
+                    size = write_snapshot_file(self._path, self, 1, self.header_extra)
+                    self._generation = 1
+                    self._snapshot_end = size
+                    self._synced_offset = size
+                    return
+        except OSError:  # pragma: no cover - read-only media: defer migration
+            pass
+        # Someone else migrated first (or the write failed): our sync state
+        # is unknown, so force a full catch-up before the next append.
+        self._generation = -1
+        self._synced_offset = 0
+        self._needs_snapshot = False
+
+    def _catch_up_locked(self) -> None:
+        """Replay what other writers persisted since our last sync (lock held).
+
+        Raises :class:`~repro.errors.NonDeterminismError` when another
+        writer recorded a measurement that disagrees with ours — the
+        cross-writer broken-reset signal.  Also repairs a torn tail left by
+        a killed writer (safe: we hold the exclusive lock).
+        """
+        from repro.store.codec import (
+            STORE_VERSION,
+            load_store_file,
+            parse_delta_tail,
+            read_file_range,
+            read_header,
+        )
+
+        if not self._path.exists():
+            self._needs_snapshot = True
+            return
+        try:
+            version, generation = read_header(self._path)
+        except StoreCorruptionError:
+            if self._needs_snapshot:
+                # The file holds adopted foreign content (e.g. a legacy
+                # flat-JSON cache QueryCache migrated): the pending full
+                # snapshot will overwrite it, nothing to catch up on.
+                return
+            raise
+        if version < STORE_VERSION or generation != self._generation:
+            # The file was compacted (or rewritten) behind our back — or we
+            # never synced: re-read it wholesale and merge.
+            scratch = PrefixStore()
+            report = load_store_file(self._path, scratch)
+            with self._suspended_journal():
+                for key in scratch.namespaces():
+                    self.namespace(key).merge(scratch.namespace(key))
+            if report.migrated:
+                # Still v1 on disk: only a full snapshot can continue it.
+                self._needs_snapshot = True
+                self._generation = -1
+                self._synced_offset = 0
+                self._snapshot_end = 0
+                return
+            self._generation = report.generation
+            self._snapshot_end = report.snapshot_end
+            if report.discarded_bytes:
+                os.truncate(self._path, report.valid_end)
+            self._synced_offset = report.valid_end
+            return
+        tail = read_file_range(self._path, self._synced_offset)
+        records, valid_end, discarded = parse_delta_tail(
+            self._path, tail, self._synced_offset
+        )
+        with self._suspended_journal():
+            for record in records:
+                self.namespace(record.key).record(
+                    record.word, record.payloads, terminal=record.terminal
+                )
+        if discarded:
+            os.truncate(self._path, valid_end)
+        self._synced_offset = valid_end
+
+    def _auto_compact_due(self) -> bool:
+        log_bytes = max(0, self._synced_offset - self._snapshot_end)
+        return log_bytes > max(AUTO_COMPACT_MIN_BYTES, self._snapshot_end)
+
+    def _compact_locked(self) -> None:
+        """Write a fresh snapshot at the next generation (lock held)."""
+        from repro.store.codec import render_snapshot, replace_file_bytes
+
+        generation = max(self._generation, 0) + 1
+        data = render_snapshot(self, generation, self.header_extra)
+        replace_file_bytes(self._path, data)
+        self._generation = generation
+        self._snapshot_end = len(data)
+        self._synced_offset = len(data)
+        self._journal.clear()
+        self._needs_snapshot = False
+
+    def save(self, path: Optional[str] = None, *, compact: bool = False) -> None:
+        """Persist the store: append the journaled delta (or compact).
+
+        Saving to the store's own path is incremental — O(delta records
+        since the last save) — and multi-writer safe: under the advisory
+        writer lock it first replays other writers' appends (or a whole
+        compacted file) into memory, raising
+        :class:`~repro.errors.NonDeterminismError` when their measurements
+        conflict with ours, then appends one delta line.  ``compact=True``
+        (or an oversized log, or a mutation appends cannot express)
+        rewrites the compact snapshot instead, bumping the generation.
+
+        Saving to an explicit *different* path writes a full standalone
+        snapshot there and leaves the store's own log state untouched.  A
+        no-op for purely in-memory stores called without a path.
+        """
+        from repro.store.codec import append_delta, save_store_file
+
+        target = Path(path) if path is not None else self._path
         if target is None:
             return
-        save_store_file(target, self)
+        if self._path is None or target != self._path:
+            save_store_file(target, self)
+            return
+        with self._writer_lock():
+            self._catch_up_locked()
+            if (
+                compact
+                or self._needs_snapshot
+                or not self._path.exists()
+                or self._auto_compact_due()
+            ):
+                self._compact_locked()
+            elif self._journal:
+                written = append_delta(self._path, self._journal)
+                self._synced_offset += written
+                self._journal.clear()
+
+    def compact(self) -> None:
+        """Force a compaction: fold the append log back into one snapshot."""
+        self.save(compact=True)

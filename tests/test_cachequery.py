@@ -183,7 +183,8 @@ class TestQueryCache:
         cache.save()
         from repro.store import is_store_document
 
-        assert is_store_document(json.loads(path.read_text()))
+        # v2 is line-oriented: the header line identifies the document.
+        assert is_store_document(json.loads(path.read_text().splitlines()[0]))
         reloaded = QueryCache(str(path))
         assert reloaded.get("L2", 0, 5, "A B? C?") == ("Hit", "Miss")
 

@@ -334,3 +334,173 @@ def test_every_policy_parallel_learning_is_identical_exact(policy_name):
 def test_every_policy_kernels_are_identical_exact(policy_name):
     """The full registry across every execution kernel."""
     _assert_kernel_differential(policy_name)
+
+
+# --------------------------------------------------------------------------
+# Store codec fuzz: random contents through v2 snapshot + append/compact
+# interleavings (the persistence substrate every learner above sits on).
+
+
+CODEC_SEEDS = tuple(range(10))
+SLOW_CODEC_SEEDS = tuple(range(10, 40))
+
+#: Symbol/payload pools mix every kind the codec supports: plain strings,
+#: sentinel-colliding strings, ints, bools, and the learning stack's
+#: registered symbol types.
+def _codec_pools():
+    from repro.policies.base import EVICT, Line
+
+    symbols = ["A", "A!", "blk7", "\x01weird", 0, 7, True, False, Line(0), Line(3), EVICT]
+    payloads = [None, "Hit", "Miss", 0, 1, 4, True, "x y z"]
+    keys = ["mbl", "learning", "cpu", "L2", 0, 1, 21, True]
+    return symbols, payloads, keys
+
+
+def _random_store_ops(seed: int, budget: int = 60):
+    """A seeded random mutation script: (key, word, payloads, terminal) records."""
+    rng = random.Random(f"codec-{seed}")
+    symbols, payloads, keys = _codec_pools()
+    ops = []
+    for _ in range(budget):
+        key = tuple(rng.choice(keys) for _ in range(rng.randint(1, 3)))
+        length = rng.randint(0, 5)
+        word = tuple(rng.choice(symbols) for _ in range(length))
+        ops.append(
+            (
+                key,
+                word,
+                tuple(rng.choice(payloads) for _ in range(length)),
+                rng.random() < 0.7,
+            )
+        )
+    return ops
+
+
+def _apply_record(store, op) -> bool:
+    """Replay one record op; returns False when it conflicts (skipped)."""
+    from repro.errors import NonDeterminismError
+
+    key, word, word_payloads, terminal = op
+    try:
+        store.namespace(key).record(word, word_payloads, terminal=terminal)
+        return True
+    except NonDeterminismError:
+        return False
+
+
+def _store_image(store):
+    """Comparable image of a store: every namespace's replayable path set.
+
+    Empty namespaces (a handle created by a conflicted record) are
+    skipped: they hold no measurements and are not persisted.
+    """
+    image = {}
+    for key in sorted(store.namespaces(), key=repr):
+        namespace = store.namespace(key)
+        entry = (
+            namespace.node_count,
+            namespace.entry_count,
+            frozenset(namespace.iter_paths()),
+        )
+        if entry != (0, 0, frozenset()):
+            image[key] = entry
+    return image
+
+
+def _assert_codec_round_trip(seed: int, tmp_path):
+    from repro.store import PrefixStore
+
+    reference = PrefixStore()
+    applied = [op for op in _random_store_ops(seed) if _apply_record(reference, op)]
+    assert applied, "degenerate fuzz case: every op conflicted"
+
+    path = tmp_path / "fuzz.json"
+    disk = PrefixStore(str(path))
+    for op in applied:
+        _apply_record(disk, op)
+    disk.save()
+    from_snapshot = PrefixStore(str(path))
+    assert _store_image(from_snapshot) == _store_image(reference)
+
+
+def _assert_codec_interleaving(seed: int, tmp_path):
+    """Random append/compact/reopen interleavings converge on the reference."""
+    from repro.store import PrefixStore
+
+    rng = random.Random(f"codec-interleave-{seed}")
+    path = tmp_path / "fuzz.json"
+    reference = PrefixStore()
+    disk = PrefixStore(str(path))
+    for op in _random_store_ops(seed, budget=80):
+        if _apply_record(reference, op):
+            assert _apply_record(disk, op)
+        else:
+            _apply_record(disk, op)
+        roll = rng.random()
+        if roll < 0.30:
+            disk.save()  # appends one delta line
+        elif roll < 0.40:
+            disk.compact()  # folds the log into a snapshot
+        elif roll < 0.50:
+            disk.save()
+            disk = PrefixStore(str(path))  # a fresh process arrives
+    disk.save()
+    final = PrefixStore(str(path))
+    assert _store_image(final) == _store_image(reference)
+
+
+@pytest.mark.parametrize("seed", CODEC_SEEDS)
+def test_codec_round_trip_random_store(seed, tmp_path):
+    _assert_codec_round_trip(seed, tmp_path)
+
+
+@pytest.mark.parametrize("seed", CODEC_SEEDS)
+def test_codec_random_append_compact_interleavings(seed, tmp_path):
+    _assert_codec_interleaving(seed, tmp_path)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", SLOW_CODEC_SEEDS)
+def test_codec_round_trip_random_store_wide(seed, tmp_path):
+    _assert_codec_round_trip(seed, tmp_path)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", SLOW_CODEC_SEEDS)
+def test_codec_random_append_compact_interleavings_wide(seed, tmp_path):
+    _assert_codec_interleaving(seed, tmp_path)
+
+
+def test_v1_fixture_bytes_decode_forever(tmp_path):
+    """The checked-in v1 file must decode (and migrate) in every future build.
+
+    The fixture bytes are frozen: regenerating them with a newer codec
+    would defeat the point of the test.
+    """
+    import shutil
+    from pathlib import Path
+
+    import repro.learning.query_engine  # noqa: F401 — registers Line/Evict codecs
+    from repro.policies.base import EVICT, Line
+    from repro.store import PrefixStore
+
+    fixture = Path(__file__).parent / "fixtures" / "store_v1_small.json"
+    path = tmp_path / "v1.json"
+    shutil.copy(fixture, path)
+
+    store = PrefixStore(str(path))
+    assert store.load_report.migrated
+    frontend = store.namespace(("mbl", "i5-6500", "L2", 0, 21))
+    assert frontend.lookup(("A!", "B", "C")) == (None, "Hit", "Miss")
+    assert frontend.lookup(("A!", "B")) == (None, "Hit")
+    assert frontend.lookup(()) == ()
+    learning = store.namespace(("learning", "sim", "LRU", 2))
+    assert learning.lookup((Line(0), Line(1), EVICT)) == (4, 0, 1)
+    assert learning.lookup((Line(0), EVICT)) == (4, 1)
+
+    # On-open migration rewrote the file as a v2 log; the contents carry over.
+    from repro.store.codec import read_header
+
+    assert read_header(path) == (2, 1)
+    reloaded = PrefixStore(str(path))
+    assert _store_image(reloaded) == _store_image(store)

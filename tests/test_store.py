@@ -179,7 +179,11 @@ class TestCodecRoundTrip:
         store.namespace(("n",)).record(("a",), (1,))
         store.save()
         store.save()  # idempotent
-        assert [entry.name for entry in tmp_path.iterdir()] == ["store.json"]
+        # Only the store and its writer-lock sibling — no .tmp leftovers.
+        assert sorted(entry.name for entry in tmp_path.iterdir()) == [
+            "store.json",
+            "store.json.lock",
+        ]
 
     def test_symbol_codec_round_trip(self):
         for symbol in ("A", "A!", "\x01weird", 7, True, False, Line(3), EVICT):
