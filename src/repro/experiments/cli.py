@@ -29,15 +29,16 @@ from repro.experiments.table4 import format_table4, run_table4
 from repro.experiments.table5 import format_table5, run_table5
 
 
-def _make_store(cache_path: Optional[str]):
-    if cache_path is None:
+def _make_store(cache_path: Optional[str], store_server: Optional[str] = None):
+    if cache_path is None and store_server is None:
         return None
     from repro.store import open_store
 
-    # A directory (or trailing-separator / .shards path) opens a sharded
+    # A unix://*/tcp://* address connects to a running store server; a
+    # directory (or trailing-separator / .shards path) opens a sharded
     # corpus — one append-log file per namespace — a plain file the classic
     # single-file store.
-    return open_store(cache_path)
+    return open_store(store_server if store_server is not None else cache_path)
 
 
 def _print_store(store, rows) -> None:
@@ -131,7 +132,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="N",
         help="run the whole learning loop (table fill + conformance testing) "
         "on a pool of N worker processes "
-        "(table2/table4; learned machines are identical to serial runs)",
+        "(table2/table4; learned machines are identical to serial runs); "
+        "0 or 1 mean explicitly serial — 0 is the convention the pipeline, "
+        "tests and benchmarks use",
     )
     parser.add_argument(
         "--cache-path",
@@ -140,6 +143,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="persistent prefix-store file shared by the run's response caches "
         "and learning tries (table2/table4); saved after every row, so an "
         "interrupted sweep resumes from what it already measured",
+    )
+    parser.add_argument(
+        "--store-server",
+        default=None,
+        metavar="ADDR",
+        help="share one measurement corpus through a running store server "
+        "(see python -m repro.store.server): unix:///path/to.sock or "
+        "tcp://host:port; lookups are mirrored locally, saves ship deltas "
+        "to the server, which owns the corpus files and their locks — N "
+        "workers or remote sweeps stop serialising on per-save fcntl "
+        "round-trips (incompatible with --cache-path and --store-compact)",
     )
     parser.add_argument(
         "--store-compact",
@@ -180,13 +194,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--json", action="store_true", help="emit raw results as JSON instead of tables"
     )
     arguments = parser.parse_args(argv)
-    if arguments.workers is not None and arguments.workers < 1:
-        parser.error("--workers must be >= 1")
+    # 0 is the explicit-serial convention used by the pipeline, tests and
+    # benchmarks everywhere else; only negative counts are nonsense.  All
+    # flag validation happens here, before any store/experiment work starts.
+    if arguments.workers is not None and arguments.workers < 0:
+        parser.error("--workers must be >= 0 (0 means serial)")
     if arguments.resume and arguments.workers is not None and arguments.workers > 1:
-        parser.error("--resume is serial-only; drop it or use --workers 1")
+        parser.error("--resume is serial-only; drop it or use --workers 0")
+    if arguments.store_server is not None and arguments.cache_path is not None:
+        parser.error(
+            "--store-server and --cache-path are mutually exclusive: with a "
+            "server the corpus lives behind the socket"
+        )
+    if arguments.store_compact and arguments.store_server is not None:
+        parser.error(
+            "--store-compact works on a local --cache-path corpus; "
+            "compaction is the server's job when a corpus is served"
+        )
     if arguments.store_compact and arguments.cache_path is None:
         parser.error("--store-compact needs --cache-path")
-    store = _make_store(arguments.cache_path)
+    store = _make_store(arguments.cache_path, arguments.store_server)
     learning_kwargs = {
         "store": store,
         "resume": arguments.resume,

@@ -45,6 +45,7 @@ one file (one lock, one log) per namespace key.
 from __future__ import annotations
 
 import os
+import warnings
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
@@ -55,6 +56,26 @@ try:  # pragma: no cover - POSIX everywhere we run; gate for portability
     import fcntl
 except ImportError:  # pragma: no cover
     fcntl = None
+
+#: One-time flag: the first locked operation on a platform without
+#: ``fcntl`` warns that the multi-writer protocol is running unlocked.
+_warned_fcntl_missing = False
+
+
+def _warn_fcntl_missing() -> None:
+    global _warned_fcntl_missing
+    if _warned_fcntl_missing:
+        return
+    _warned_fcntl_missing = True
+    warnings.warn(
+        "fcntl is unavailable on this platform: the measurement store cannot "
+        "lock out concurrent writers; a second writer touching this file "
+        "will be detected on catch-up and rejected with a StoreError instead "
+        "of risking corruption (use the store server, repro.store.server, to "
+        "share a corpus without fcntl)",
+        RuntimeWarning,
+        stacklevel=4,
+    )
 
 Symbol = Hashable
 Payload = Optional[Hashable]
@@ -488,16 +509,27 @@ class PrefixStore:
         so it survives compaction's :func:`os.replace` of the store file
         itself.  Readers never take it.
         """
+        if fcntl is None:
+            # No lock to take: warn once that writers are unserialised; the
+            # catch-up step rejects a detected second writer cleanly.
+            _warn_fcntl_missing()
+            yield
+            return
         lock_path = self._path.parent / f"{self._path.name}.lock"
         fd = os.open(lock_path, os.O_CREAT | os.O_RDWR, 0o644)
         try:
-            if fcntl is not None:
-                fcntl.flock(fd, fcntl.LOCK_EX)
+            fcntl.flock(fd, fcntl.LOCK_EX)
             yield
         finally:
-            if fcntl is not None:
+            # The unlock + close MUST stay in this finally: an exception
+            # from the locked body (NonDeterminismError or
+            # StoreCorruptionError raised during catch-up) would otherwise
+            # leak the held lock fd for the life of the process, stalling
+            # every sibling writer on this file.
+            try:
                 fcntl.flock(fd, fcntl.LOCK_UN)
-            os.close(fd)
+            finally:
+                os.close(fd)
 
     def _migrate_on_open(self) -> None:
         """Rewrite a just-loaded v1 file in the v2 append-log format."""
@@ -550,6 +582,21 @@ class PrefixStore:
                 # snapshot will overwrite it, nothing to catch up on.
                 return
             raise
+        if fcntl is None and self._generation >= 0:
+            size = self._path.stat().st_size
+            if generation != self._generation or size != self._synced_offset:
+                # Without fcntl the writers' appends were never serialised:
+                # replaying a racing writer's tail could interleave with an
+                # append of ours that is still in flight.  Refuse loudly
+                # instead of corrupting by luck.
+                raise StoreError(
+                    f"store file {self._path} changed underneath this writer "
+                    f"(generation {self._generation} -> {generation}, synced "
+                    f"{self._synced_offset} of {size} bytes) but fcntl "
+                    "locking is unavailable on this platform: concurrent "
+                    "writers cannot be serialised — route them through the "
+                    "store server (repro.store.server) instead"
+                )
         if version < STORE_VERSION or generation != self._generation:
             # The file was compacted (or rewritten) behind our back — or we
             # never synced: re-read it wholesale and merge.

@@ -1,0 +1,510 @@
+"""Asyncio measurement-store server: one owner process per corpus.
+
+PR 8's file layer made a shared ``--cache-path`` corpus safe: every writer
+takes an advisory ``fcntl`` lock per save and replays the other writers'
+appends before its own.  Correct — but N local workers then serialise on
+the lock (plus a catch-up parse) for every row they save, and a corpus
+cannot be shared across machines at all.  This server is the next shape
+the ROADMAP names: a thin asyncio service that **owns** the
+:class:`~repro.store.shards.ShardedStore` and exposes
+``lookup``/``record``/``save``/``compact`` over a Unix or TCP socket
+(length-prefixed JSON frames, see :mod:`repro.store.client`).
+
+Concurrency model — **one task per shard**:
+
+* every namespace key gets its own :class:`asyncio.Queue` drained by a
+  dedicated shard task, so appends to *different* shards never serialise
+  on anything (each task does its file work in the default thread-pool
+  executor, off the event loop);
+* requests for the *same* shard queue up behind each other — and the
+  shard task **group-commits**: it drains everything queued, replays all
+  the records in memory, then persists once.  Four clients saving one
+  record each into a hot shard cost one ``fsync``, not four;
+* the server persists through the exact same
+  :meth:`~repro.store.prefix_store.PrefixStore.save` path as a direct
+  writer — advisory ``fcntl`` lock, catch-up replay, append — so a
+  direct-file writer appending underneath a running server is replayed
+  (and conflicts surface as :class:`~repro.errors.NonDeterminismError`),
+  and a direct writer taking the lock sees the server's appends.  The
+  on-disk protocol stays the single source of truth; the server is a
+  cache + serialisation layer over the same shards.
+
+Run standalone::
+
+    python -m repro.store.server --path corpus.shards \\
+        --listen unix:///tmp/corpus.sock
+
+The process prints ``LISTENING <address>`` once the socket is bound (with
+the real port for ``tcp://host:0``) and flushes every loaded shard on
+``SIGTERM``/``SIGINT``.  Tests embed it with :func:`serve_in_thread`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+import threading
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import StoreError
+from repro.store.client import (
+    decode_word,
+    error_response,
+    is_server_address,
+    parse_address,
+)
+from repro.store.codec import (
+    STORE_FORMAT,
+    STORE_VERSION,
+    decode_delta_entry,
+    encode_delta_record,
+)
+
+# Symbol codecs for Line/Evict trie symbols register on import, so shard
+# files written by learning runs decode on this side of the socket too.
+import repro.learning.query_engine  # noqa: F401  (registers symbol codecs)
+
+#: Wire origin used in decode diagnostics for records arriving by socket.
+_WIRE = Path("<wire>")
+
+
+class _ShardWork:
+    """One queued unit of shard work: run ``apply`` in the shard's task,
+    persist the shard afterwards when ``persist`` is set."""
+
+    __slots__ = ("apply", "persist", "future")
+
+    def __init__(self, apply, persist: bool, future: asyncio.Future) -> None:
+        self.apply = apply
+        self.persist = persist
+        self.future = future
+
+
+class StoreServer:
+    """Serve one store (sharded corpus or single file) over a socket."""
+
+    def __init__(self, store, address: str) -> None:
+        self.store = store
+        self.address = address
+        self._scheme, self._target = parse_address(address)
+        self._queues: Dict[object, asyncio.Queue] = {}
+        self._tasks: Dict[object, asyncio.Task] = {}
+        self._server: Optional[asyncio.base_events.Server] = None
+        self.bound_address = address
+
+    # ---------------------------------------------------------- shard routing
+
+    def _queue_key(self, key: Tuple) -> object:
+        """Single-file stores have exactly one append log: one queue."""
+        return key if getattr(self.store, "sharded", False) else None
+
+    def _shard_store(self, key: Optional[Tuple]):
+        """The PrefixStore holding ``key`` (lazily loaded; executor-side)."""
+        if key is not None and getattr(self.store, "sharded", False):
+            return self.store._shard(key)
+        return self.store
+
+    def _queue_for(self, queue_key: object) -> asyncio.Queue:
+        queue = self._queues.get(queue_key)
+        if queue is None:
+            queue = asyncio.Queue()
+            self._queues[queue_key] = queue
+            self._tasks[queue_key] = asyncio.create_task(
+                self._shard_task(queue_key, queue)
+            )
+        return queue
+
+    async def _submit(self, key: Tuple, apply, *, persist: bool):
+        """Enqueue work on ``key``'s shard task and await its result."""
+        future = asyncio.get_running_loop().create_future()
+        await self._queue_for(self._queue_key(key)).put(
+            _ShardWork(apply, persist, future)
+        )
+        return await future
+
+    async def _shard_task(self, queue_key: object, queue: asyncio.Queue) -> None:
+        """Drain one shard's queue forever, group-committing each drain."""
+        loop = asyncio.get_running_loop()
+        while True:
+            batch = [await queue.get()]
+            while not queue.empty():
+                batch.append(queue.get_nowait())
+            results = await loop.run_in_executor(
+                None, self._execute_batch, queue_key, batch
+            )
+            for work, (ok, value) in zip(batch, results):
+                if work.future.cancelled():  # pragma: no cover - client died
+                    continue
+                if ok:
+                    work.future.set_result(value)
+                else:
+                    work.future.set_exception(value)
+
+    def _execute_batch(self, queue_key: object, batch: List[_ShardWork]):
+        """Run a drained batch in a worker thread: apply all, persist once.
+
+        Per-item exceptions (e.g. a conflicting record's
+        ``NonDeterminismError``) fail only that item; a failing persist
+        fails every item that asked for one.
+        """
+        results: List[Tuple[bool, object]] = []
+        persist = False
+        for work in batch:
+            try:
+                results.append((True, work.apply()))
+                persist = persist or work.persist
+            except Exception as exc:
+                results.append((False, exc))
+        if persist:
+            try:
+                self._shard_store(queue_key).save()
+            except Exception as exc:
+                results = [
+                    (False, exc) if ok and work.persist else (ok, value)
+                    for work, (ok, value) in zip(batch, results)
+                ]
+        return results
+
+    # ------------------------------------------------------------- operations
+
+    def _apply_pull(self, key: Tuple) -> dict:
+        """Executor-side: catch up on external appends, dump the namespace."""
+        shard = self._shard_store(key)
+        shard.save()  # takes the fcntl lock; replays direct writers' appends
+        namespace = shard.namespace(key)
+        paths = [
+            encode_delta_record(key, word, payloads, terminal)
+            for word, payloads, terminal in namespace.iter_paths()
+        ]
+        response = {"ok": True, "paths": paths, "entries": namespace.entry_count}
+        report = getattr(shard, "load_report", None)
+        if report is not None:
+            response["recovered_records"] = report.recovered_records
+            response["discarded_bytes"] = report.discarded_bytes
+        return response
+
+    def _apply_batch_records(self, key: Tuple, batch: dict) -> dict:
+        """Executor-side: replay one save/record batch into the live store."""
+        shard = self._shard_store(key)
+        namespace = shard.namespace(key)
+        if batch.get("clear"):
+            namespace.clear()
+        replayed = 0
+        for entry in batch.get("records", []):
+            record = decode_delta_entry(_WIRE, entry)
+            namespace.record(record.word, record.payloads, terminal=record.terminal)
+            replayed += 1
+        return {"ok": True, "replayed": replayed}
+
+    def _apply_lookup(self, key: Tuple, word: Sequence[str]) -> dict:
+        namespace = self._shard_store(key).namespace(key)
+        payloads = namespace.lookup(decode_word(word))
+        return {
+            "ok": True,
+            "payloads": list(payloads) if payloads is not None else None,
+        }
+
+    def _apply_compact(self, key: Tuple) -> dict:
+        self._shard_store(key).compact()
+        return {"ok": True}
+
+    async def _retry_concurrent(self, fn, attempts: int = 5):
+        """Run a cross-shard read in the executor, retrying the (benign)
+        dict-changed-during-iteration race with a concurrently loading
+        shard task."""
+        loop = asyncio.get_running_loop()
+        for attempt in range(attempts):
+            try:
+                return await loop.run_in_executor(None, fn)
+            except RuntimeError:  # pragma: no cover - needs an exact race
+                if attempt == attempts - 1:
+                    raise
+                await asyncio.sleep(0.01)
+
+    async def dispatch(self, request: dict) -> dict:
+        """Route one decoded request frame to its operation."""
+        op = request.get("op")
+        if op == "hello":
+            return {
+                "ok": True,
+                "format": STORE_FORMAT,
+                "version": STORE_VERSION,
+                "sharded": bool(getattr(self.store, "sharded", False)),
+                "path": str(getattr(self.store, "path", None)),
+                "pid": os.getpid(),
+            }
+        if op == "pull":
+            key = tuple(request["key"])
+            return await self._submit(
+                key, lambda: self._apply_pull(key), persist=False
+            )
+        if op == "lookup":
+            key = tuple(request["key"])
+            word = request.get("word", [])
+            return await self._submit(
+                key, lambda: self._apply_lookup(key, word), persist=False
+            )
+        if op == "record":
+            key = tuple(request["key"])
+            return await self._submit(
+                key,
+                lambda: self._apply_batch_records(key, request),
+                persist=False,
+            )
+        if op == "save":
+            waits = []
+            for batch in request.get("batches", []):
+                key = tuple(batch["key"])
+                waits.append(
+                    self._submit(
+                        key,
+                        lambda key=key, batch=batch: self._apply_batch_records(
+                            key, batch
+                        ),
+                        persist=True,
+                    )
+                )
+            replayed = 0
+            for wait in waits:
+                response = await wait
+                replayed += response.get("replayed", 0)
+            if request.get("compact"):
+                await self._compact_all()
+            return {"ok": True, "replayed": replayed}
+        if op == "compact":
+            if "key" in request and request["key"] is not None:
+                key = tuple(request["key"])
+                return await self._submit(
+                    key, lambda: self._apply_compact(key), persist=False
+                )
+            await self._compact_all()
+            return {"ok": True}
+        if op == "clear":
+            await self._retry_concurrent(self.store.clear)
+            return {"ok": True}
+        if op == "namespaces":
+            keys = await self._retry_concurrent(self.store.namespaces)
+            return {"ok": True, "keys": [list(key) for key in keys]}
+        if op == "statistics":
+            stats = await self._retry_concurrent(self.store.statistics)
+            return {"ok": True, "statistics": stats}
+        raise StoreError(f"store server does not understand op {op!r}")
+
+    async def _compact_all(self) -> None:
+        keys = await self._retry_concurrent(self.store.namespaces)
+        if not keys and not getattr(self.store, "sharded", False):
+            keys = [()]
+        waits = [
+            self._submit(key, lambda key=key: self._apply_compact(key), persist=False)
+            for key in keys
+        ]
+        for wait in waits:
+            await wait
+
+    # ------------------------------------------------------------- connection
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    prefix = await reader.readexactly(4)
+                except (asyncio.IncompleteReadError, ConnectionResetError):
+                    return
+                length = int.from_bytes(prefix, "big")
+                body = await reader.readexactly(length)
+                try:
+                    request = json.loads(body)
+                    response = await self.dispatch(request)
+                except Exception as exc:
+                    response = error_response(exc)
+                payload = json.dumps(response, separators=(",", ":")).encode()
+                writer.write(len(payload).to_bytes(4, "big") + payload)
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            return
+        except asyncio.CancelledError:
+            # Shutdown cancels open connections; swallow so teardown is
+            # silent (the StreamReaderProtocol callback re-logs otherwise).
+            return
+        finally:
+            try:
+                writer.close()
+            except RuntimeError:  # pragma: no cover - loop already closed
+                pass
+
+    # --------------------------------------------------------------- lifecycle
+
+    async def start(self) -> str:
+        """Bind the socket; return the bound address (real port for :0)."""
+        if self._scheme == "unix":
+            socket_path = Path(self._target)
+            if socket_path.exists():
+                socket_path.unlink()
+            self._server = await asyncio.start_unix_server(
+                self._handle_client, path=str(socket_path)
+            )
+            self.bound_address = f"unix://{socket_path}"
+        else:
+            host, port = self._target
+            self._server = await asyncio.start_server(
+                self._handle_client, host=host or "127.0.0.1", port=port
+            )
+            bound = self._server.sockets[0].getsockname()
+            self.bound_address = f"tcp://{bound[0]}:{bound[1]}"
+        return self.bound_address
+
+    async def flush(self) -> None:
+        """Persist every dirty shard (the SIGTERM/shutdown path)."""
+        try:
+            await self._retry_concurrent(self.store.save)
+        except Exception:  # pragma: no cover - best-effort shutdown flush
+            pass
+
+    async def stop(self) -> None:
+        await self.flush()
+        for task in self._tasks.values():
+            task.cancel()
+        self._tasks.clear()
+        self._queues.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._scheme == "unix":
+            try:
+                Path(self._target).unlink()
+            except OSError:
+                pass
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+
+# ------------------------------------------------------------- test embedding
+
+
+class ServerHandle:
+    """A store server running on a daemon thread (for tests and benchmarks)."""
+
+    def __init__(self, server: StoreServer, loop, thread) -> None:
+        self.server = server
+        self.address = server.bound_address
+        self._loop = loop
+        self._thread = thread
+        self._stopped = False
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._stopped:
+            return
+        self._stopped = True
+        future = asyncio.run_coroutine_threadsafe(self.server.stop(), self._loop)
+        try:
+            future.result(timeout=timeout)
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=timeout)
+
+
+def serve_in_thread(store, address: str, *, ready_timeout: float = 10.0) -> ServerHandle:
+    """Start a :class:`StoreServer` on a background thread; return its handle."""
+    server = StoreServer(store, address)
+    loop = asyncio.new_event_loop()
+    ready = threading.Event()
+    startup_error: List[BaseException] = []
+
+    def run() -> None:
+        asyncio.set_event_loop(loop)
+
+        async def boot() -> None:
+            try:
+                await server.start()
+            except BaseException as exc:  # pragma: no cover - bad address
+                startup_error.append(exc)
+            finally:
+                ready.set()
+
+        loop.run_until_complete(boot())
+        if not startup_error:
+            loop.run_forever()
+            # Finalize whatever is still pending (open client handlers)
+            # before closing the loop, so shutdown is silent.
+            pending = asyncio.all_tasks(loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+        loop.close()
+
+    thread = threading.Thread(target=run, name="store-server", daemon=True)
+    thread.start()
+    if not ready.wait(ready_timeout):  # pragma: no cover - startup hang
+        raise StoreError(f"store server on {address} did not start in time")
+    if startup_error:
+        thread.join()
+        raise StoreError(
+            f"store server failed to bind {address}: {startup_error[0]}"
+        ) from startup_error[0]
+    return ServerHandle(server, loop, thread)
+
+
+# ----------------------------------------------------------------- standalone
+
+
+async def _amain(store, address: str) -> int:
+    server = StoreServer(store, address)
+    bound = await server.start()
+    print(f"LISTENING {bound}", flush=True)
+    stop_event = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signal_name in ("SIGTERM", "SIGINT"):
+        import signal as signal_module
+
+        loop.add_signal_handler(
+            getattr(signal_module, signal_name), stop_event.set
+        )
+    serve = asyncio.create_task(server.serve_forever())
+    await stop_event.wait()
+    serve.cancel()
+    await server.stop()
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Serve a measurement-store corpus over a socket"
+    )
+    parser.add_argument(
+        "--path",
+        required=True,
+        metavar="CORPUS",
+        help="store to serve: a directory/.shards path (sharded corpus) or a "
+        "single store file",
+    )
+    parser.add_argument(
+        "--listen",
+        required=True,
+        metavar="ADDR",
+        help="unix:///path/to.sock or tcp://host:port (port 0 picks a free "
+        "port; the bound address is printed as LISTENING <addr>)",
+    )
+    arguments = parser.parse_args(argv)
+    if is_server_address(arguments.path):
+        parser.error("--path is the on-disk corpus, not a server address")
+    from repro.store.shards import open_store
+
+    store = open_store(arguments.path)
+    return asyncio.run(_amain(store, arguments.listen))
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised as a subprocess
+    raise SystemExit(main())

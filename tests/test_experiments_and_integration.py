@@ -168,6 +168,73 @@ class TestCLIFlags:
         assert "prefix store" in out
         assert path.exists()
 
+    def test_workers_zero_is_explicit_serial(self, capsys):
+        from repro.experiments import table2 as table2_module
+        from repro.experiments.cli import main
+
+        original = table2_module.table2_configurations
+        table2_module.table2_configurations = lambda mode: [("LRU", 2)]
+        try:
+            assert main(["table2", "--workers", "0"]) == 0
+        finally:
+            table2_module.table2_configurations = original
+        assert "LRU" in capsys.readouterr().out
+
+    def test_negative_workers_rejected(self, capsys):
+        from repro.experiments.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["table2", "--workers", "-1"])
+        assert "0 means serial" in capsys.readouterr().err
+
+    def test_store_server_with_cache_path_rejected(self, capsys):
+        from repro.experiments.cli import main
+
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "table2",
+                    "--store-server",
+                    "unix:///tmp/x.sock",
+                    "--cache-path",
+                    "corpus.json",
+                ]
+            )
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_store_server_with_store_compact_rejected(self, capsys):
+        from repro.experiments.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["table2", "--store-server", "unix:///tmp/x.sock", "--store-compact"])
+        assert "server's job" in capsys.readouterr().err
+
+    def test_store_compact_without_cache_path_rejected(self, capsys):
+        from repro.experiments.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["table2", "--store-compact"])
+        assert "--cache-path" in capsys.readouterr().err
+
+    def test_store_server_flag_runs_against_live_server(self, tmp_path, capsys):
+        from repro.experiments import table2 as table2_module
+        from repro.experiments.cli import main
+        from repro.store import ShardedStore
+        from repro.store.server import serve_in_thread
+
+        handle = serve_in_thread(
+            ShardedStore(tmp_path / "corpus.shards"), f"unix://{tmp_path}/cli.sock"
+        )
+        original = table2_module.table2_configurations
+        table2_module.table2_configurations = lambda mode: [("LRU", 2)]
+        try:
+            assert main(["table2", "--store-server", handle.address]) == 0
+        finally:
+            table2_module.table2_configurations = original
+            handle.stop()
+        out = capsys.readouterr().out
+        assert "prefix store" in out
+
     def test_format_store_statistics_line(self):
         from repro.experiments.reporting import format_store_statistics
 

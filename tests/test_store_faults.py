@@ -350,3 +350,114 @@ class TestLoadReportSurface:
         assert report.recovered_records > 0
         assert report.discarded_bytes == 0
         assert json.loads(path.read_bytes().split(b"\n")[0])["generation"] == report.generation
+
+
+class TestWriterLockHygiene:
+    """PR 9 regressions: a failed save must release (and close) the lock."""
+
+    def lock_is_free(self, lock_path: Path) -> bool:
+        import fcntl
+
+        fd = os.open(lock_path, os.O_RDWR)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except BlockingIOError:
+            return False
+        else:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+            return True
+        finally:
+            os.close(fd)
+
+    def test_failed_save_releases_the_writer_lock(self, tmp_path):
+        from repro.errors import NonDeterminismError
+
+        path = tmp_path / "store.json"
+        first = PrefixStore(str(path))
+        second = PrefixStore(str(path))  # opened before first's record lands
+        first.namespace(NS).record(("w",), ("Hit",))
+        first.save()
+        second.namespace(NS).record(("w",), ("Miss",))
+        with pytest.raises(NonDeterminismError):
+            second.save()  # catch-up replays first's record and conflicts
+        # The lock must not stay held by the failed save...
+        assert self.lock_is_free(tmp_path / "store.json.lock")
+        # ...and other writers must still get through.
+        first.namespace(NS).record(("after",), ("Hit",))
+        first.save()
+
+    def test_repeated_failed_saves_leak_no_descriptors(self, tmp_path):
+        from repro.errors import NonDeterminismError
+
+        path = tmp_path / "store.json"
+        first = PrefixStore(str(path))
+        second = PrefixStore(str(path))  # opened before first's record lands
+        first.namespace(NS).record(("w",), ("Hit",))
+        first.save()
+        second.namespace(NS).record(("w",), ("Miss",))
+        fd_dir = Path("/proc/self/fd")
+        if not fd_dir.exists():  # pragma: no cover - non-Linux
+            pytest.skip("needs /proc to count open descriptors")
+        with pytest.raises(NonDeterminismError):
+            second.save()
+        before = len(list(fd_dir.iterdir()))
+        for _ in range(20):
+            with pytest.raises(NonDeterminismError):
+                second.save()
+        assert len(list(fd_dir.iterdir())) <= before
+
+
+class TestFcntlUnavailable:
+    """PR 9 regressions: without fcntl, warn once and refuse second writers."""
+
+    @pytest.fixture
+    def no_fcntl(self, monkeypatch):
+        import repro.store.prefix_store as prefix_store_module
+
+        monkeypatch.setattr(prefix_store_module, "fcntl", None)
+        monkeypatch.setattr(prefix_store_module, "_warned_fcntl_missing", False)
+        return prefix_store_module
+
+    def test_warns_once_on_first_locked_operation(self, tmp_path, no_fcntl):
+        import warnings
+
+        path = tmp_path / "store.json"
+        store = PrefixStore(str(path))
+        store.namespace(NS).record(("a",), ("Hit",))
+        with pytest.warns(RuntimeWarning, match="fcntl is unavailable"):
+            store.save()
+        # Only the first locked operation warns.
+        store.namespace(NS).record(("b",), ("Hit",))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            store.save()
+
+    def test_second_writer_detected_and_refused(self, tmp_path, no_fcntl):
+        import warnings
+
+        path = tmp_path / "store.json"
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            ours = PrefixStore(str(path))
+            ours.namespace(NS).record(("ours",), ("Hit",))
+            ours.save()
+            # Another writer appends underneath (its own handle, same file).
+            theirs = PrefixStore(str(path))
+            theirs.namespace(NS).record(("theirs",), ("Hit",))
+            theirs.save()
+            ours.namespace(NS).record(("late",), ("Hit",))
+            with pytest.raises(StoreError, match="changed underneath"):
+                ours.save()
+
+    def test_single_writer_still_works_without_fcntl(self, tmp_path, no_fcntl):
+        import warnings
+
+        path = tmp_path / "store.json"
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            store = PrefixStore(str(path))
+            for i in range(5):
+                store.namespace(NS).record((f"x{i}",), ("Hit",))
+                store.save()
+            reopened = PrefixStore(str(path))
+            assert entry_words(reopened) == {(f"x{i}",) for i in range(5)}

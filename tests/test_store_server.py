@@ -1,0 +1,410 @@
+"""The measurement-store server and its synchronous client.
+
+The server owns a corpus behind a ``unix://``/``tcp://`` socket so N
+writers stop serialising on per-save ``fcntl`` round-trips.  Promises
+under test:
+
+* **same surface, same answers** — ``RemoteStore`` satisfies the
+  namespace interface ``PrefixStore`` gives the query engine and
+  ``QueryCache``, and a warm start over a server-populated corpus
+  re-executes 0 membership queries;
+* **conflicts surface at the recording client** — a local conflict
+  raises :class:`~repro.errors.NonDeterminismError` immediately, a
+  cross-client one when the losing client's ``save`` reaches the server;
+* **fault tolerance** — a client reconnects and resends after a server
+  restart mid-save; a SIGKILLed server leaves a corpus the next server
+  start recovers (torn tails included, via the shard's ``LoadReport``);
+* **mixed access stays safe** — a direct-file writer appending
+  underneath a running server is replayed by the server's catch-up
+  (same ``fcntl`` locks, same on-disk protocol).
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.errors import NonDeterminismError, StoreError
+from repro.store import (
+    PrefixStore,
+    RemoteStore,
+    ShardedStore,
+    is_server_address,
+    open_store,
+    parse_address,
+)
+from repro.store.client import decode_word, encode_word
+from repro.store.server import serve_in_thread
+
+KEY = ("mbl", "cpu", "L2", 0)
+
+
+# ------------------------------------------------------------------ embedding
+
+
+@pytest.fixture
+def corpus(tmp_path):
+    return tmp_path / "corpus.shards"
+
+
+@pytest.fixture
+def handle(tmp_path, corpus):
+    """A store server on a background thread, fronting a sharded corpus."""
+    handle = serve_in_thread(ShardedStore(corpus), f"unix://{tmp_path}/srv.sock")
+    yield handle
+    handle.stop()
+
+
+def start_server_process(corpus, address, *, env_extra=None):
+    """Spawn ``python -m repro.store.server``; return (process, bound address)."""
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.store.server",
+            "--path",
+            str(corpus),
+            "--listen",
+            address,
+        ],
+        env={**os.environ, "PYTHONPATH": "src", **(env_extra or {})},
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    line = process.stdout.readline()
+    assert line.startswith("LISTENING "), f"server did not come up: {line!r}"
+    return process, line.split(None, 1)[1].strip()
+
+
+# ----------------------------------------------------------------- addressing
+
+
+class TestAddressing:
+    def test_unix_address(self):
+        assert parse_address("unix:///tmp/corpus.sock") == ("unix", "/tmp/corpus.sock")
+
+    def test_tcp_address(self):
+        assert parse_address("tcp://127.0.0.1:9970") == ("tcp", ("127.0.0.1", 9970))
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "corpus.shards",
+            "unix://",
+            "tcp://nohost",
+            "tcp://host:notaport",
+            "http://host:80",
+        ],
+    )
+    def test_bad_addresses_rejected(self, bad):
+        with pytest.raises(StoreError):
+            parse_address(bad)
+
+    def test_is_server_address(self, tmp_path):
+        assert is_server_address("unix:///x.sock")
+        assert is_server_address("tcp://h:1")
+        assert not is_server_address("corpus.shards")
+        assert not is_server_address(tmp_path)  # Path objects are paths
+
+    def test_word_round_trips_through_wire_encoding(self):
+        from repro.core.alphabet import Evict, Line
+
+        word = (Line(0), Evict(), "plain")
+        assert decode_word(encode_word(word)) == word
+
+    def test_dead_address_fails_fast_with_hint(self, tmp_path):
+        with pytest.raises(StoreError, match="python -m repro.store.server"):
+            RemoteStore(
+                f"unix://{tmp_path}/nobody.sock",
+                connect_retries=0,
+                retry_delay=0.01,
+            )
+
+
+# ---------------------------------------------------------------- round trips
+
+
+class TestInThreadRoundTrip:
+    def test_open_store_returns_remote_store(self, handle):
+        store = open_store(handle.address)
+        assert isinstance(store, RemoteStore)
+        assert store.sharded and store.remote and store.path is None
+        assert store.server_info["sharded"] is True
+
+    def test_record_save_pull(self, handle):
+        writer = RemoteStore(handle.address)
+        namespace = writer.namespace(KEY)
+        namespace.record(("a", "b"), (None, "Hit"))
+        assert writer.pending_records == 1
+        writer.save()
+        assert writer.pending_records == 0
+
+        reader = RemoteStore(handle.address)
+        assert reader.namespace(KEY).lookup(("a", "b")) == (None, "Hit")
+        assert reader.namespace(KEY).entry_count == 1
+
+    def test_lookup_op_reads_server_side_state(self, handle):
+        writer = RemoteStore(handle.address)
+        writer.namespace(KEY).record(("x",), ("Hit",))
+        writer.save()
+        response = writer._request(
+            {"op": "lookup", "key": list(KEY), "word": encode_word(("x",))}
+        )
+        assert response["payloads"] == ["Hit"]
+
+    def test_local_conflict_raises_immediately(self, handle):
+        store = RemoteStore(handle.address)
+        namespace = store.namespace(KEY)
+        namespace.record(("w",), ("Hit",))
+        with pytest.raises(NonDeterminismError):
+            namespace.record(("w",), ("Miss",))
+
+    def test_cross_client_conflict_surfaces_at_recording_client(self, handle):
+        # Both clients pull the empty namespace, then disagree on one word.
+        first = RemoteStore(handle.address)
+        second = RemoteStore(handle.address)
+        first_ns = first.namespace(KEY)
+        second_ns = second.namespace(KEY)
+        first_ns.record(("w",), ("Hit",))
+        second_ns.record(("w",), ("Miss",))
+        first.save()
+        with pytest.raises(NonDeterminismError):
+            second.save()
+        # The conflicting batch is dropped: the loser keeps working.
+        assert second.pending_records == 0
+        second_ns.record(("other",), ("Hit",))
+        second.save()
+        third = RemoteStore(handle.address)
+        assert third.namespace(KEY).lookup(("w",)) == ("Hit",)
+        assert third.namespace(KEY).lookup(("other",)) == ("Hit",)
+
+    def test_statistics_and_namespaces(self, handle):
+        store = RemoteStore(handle.address)
+        store.namespace(KEY).record(("a",), ("Hit",))
+        store.save()
+        statistics = store.statistics()
+        assert statistics["remote"] == handle.address
+        assert statistics["client_namespaces"] == 1
+        assert statistics["pending_records"] == 0
+        assert statistics["entries"] >= 1
+        assert KEY in store.namespaces()
+
+    def test_save_to_explicit_path_rejected(self, handle):
+        store = RemoteStore(handle.address)
+        with pytest.raises(StoreError, match="persists on the server"):
+            store.save("elsewhere.json")
+
+    def test_unknown_op_is_clean_error(self, handle):
+        store = RemoteStore(handle.address)
+        with pytest.raises(StoreError, match="does not understand"):
+            store._request({"op": "frobnicate"})
+
+    def test_clear_drops_server_and_client_state(self, handle):
+        store = RemoteStore(handle.address)
+        store.namespace(KEY).record(("a",), ("Hit",))
+        store.save()
+        store.clear()
+        assert store.namespace(KEY).entry_count == 0
+        assert RemoteStore(handle.address).namespace(KEY).entry_count == 0
+
+    def test_compact_flushes_and_compacts(self, handle, corpus):
+        store = RemoteStore(handle.address)
+        store.namespace(KEY).record(("a", "b"), (None, "Hit"))
+        store.compact()
+        assert store.pending_records == 0
+        assert RemoteStore(handle.address).namespace(KEY).lookup(("a", "b")) == (
+            None,
+            "Hit",
+        )
+
+    def test_direct_writer_appending_underneath_is_replayed(self, handle, corpus):
+        # A direct-file writer appends while the server is running; the
+        # server's pull-time catch-up (same fcntl locks) replays it.
+        server_client = RemoteStore(handle.address)
+        server_client.namespace(KEY).record(("via-server",), ("Hit",))
+        server_client.save()
+
+        direct = ShardedStore(corpus)
+        direct.namespace(KEY).record(("direct",), ("Miss",))
+        direct.save()
+
+        late = RemoteStore(handle.address)
+        assert late.namespace(KEY).lookup(("direct",)) == ("Miss",)
+        assert late.namespace(KEY).lookup(("via-server",)) == ("Hit",)
+
+    def test_single_file_store_served_too(self, tmp_path):
+        handle = serve_in_thread(
+            PrefixStore(str(tmp_path / "store.json")), f"unix://{tmp_path}/sf.sock"
+        )
+        try:
+            store = RemoteStore(handle.address)
+            store.namespace(("n",)).record(("x",), ("Hit",))
+            store.save()
+            assert RemoteStore(handle.address).namespace(("n",)).lookup(("x",)) == (
+                "Hit",
+            )
+        finally:
+            handle.stop()
+        reopened = PrefixStore(str(tmp_path / "store.json"))
+        assert reopened.namespace(("n",)).lookup(("x",)) == ("Hit",)
+
+    def test_corpus_readable_directly_after_stop(self, handle, corpus):
+        store = RemoteStore(handle.address)
+        store.namespace(KEY).record(("a",), ("Hit",))
+        store.save()
+        handle.stop()
+        assert ShardedStore(corpus).namespace(KEY).lookup(("a",)) == ("Hit",)
+
+
+# -------------------------------------------------------------- server faults
+
+
+class TestServerFaults:
+    def test_subprocess_round_trip_and_sigterm_flush(self, tmp_path, corpus):
+        process, address = start_server_process(corpus, f"unix://{tmp_path}/sub.sock")
+        try:
+            store = RemoteStore(address)
+            store.namespace(KEY).record(("sub",), ("Hit",))
+            store.save()
+        finally:
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=30) == 0
+        assert ShardedStore(corpus).namespace(KEY).lookup(("sub",)) == ("Hit",)
+
+    def test_tcp_server_binds_a_free_port(self, corpus):
+        process, address = start_server_process(corpus, "tcp://127.0.0.1:0")
+        try:
+            assert address.startswith("tcp://127.0.0.1:")
+            assert not address.endswith(":0")
+            store = RemoteStore(address)
+            store.namespace(KEY).record(("tcp",), ("Hit",))
+            store.save()
+            assert RemoteStore(address).namespace(KEY).lookup(("tcp",)) == ("Hit",)
+        finally:
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=30) == 0
+
+    def test_client_reconnects_after_server_restart_mid_save(self, tmp_path, corpus):
+        address = f"unix://{tmp_path}/restart.sock"
+        process, bound = start_server_process(corpus, address)
+        store = RemoteStore(bound)
+        store.namespace(KEY).record(("before",), ("Hit",))
+        store.save()
+
+        # The server dies between two of the client's saves...
+        process.kill()
+        process.wait(timeout=30)
+        store.namespace(KEY).record(("after",), ("Hit",))
+
+        # ...and a replacement comes up on the same socket.  The client's
+        # next save reconnects and resends transparently.
+        process, _ = start_server_process(corpus, address)
+        try:
+            store.save()
+            assert store.pending_records == 0
+        finally:
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=30) == 0
+        merged = ShardedStore(corpus).namespace(KEY)
+        assert merged.lookup(("before",)) == ("Hit",)
+        assert merged.lookup(("after",)) == ("Hit",)
+
+    def test_sigkilled_server_corpus_recovers_on_next_start(self, tmp_path, corpus):
+        address = f"unix://{tmp_path}/kill.sock"
+        process, bound = start_server_process(corpus, address)
+        store = RemoteStore(bound)
+        store.namespace(KEY).record(("survivor",), ("Hit",))
+        store.save()
+        process.kill()  # no flush, no unlink — the worst case
+        process.wait(timeout=30)
+
+        # Simulate the torn shard tail a writer killed mid-append leaves:
+        # a partial delta line with no terminating newline.
+        shard = ShardedStore(corpus).shard_path(KEY)
+        with open(shard, "ab") as handle:
+            handle.write(b'[["mbl","cpu","L2",0],["torn-mid-wri')
+
+        # The next server start recovers: the shard loads through the
+        # LoadReport tail repair, and pull reports what was discarded.
+        process, bound = start_server_process(corpus, address)
+        try:
+            fresh = RemoteStore(bound)
+            response = fresh._request({"op": "pull", "key": list(KEY)})
+            assert response["discarded_bytes"] > 0
+            assert fresh.namespace(KEY).lookup(("survivor",)) == ("Hit",)
+            fresh.namespace(KEY).record(("post-crash",), ("Miss",))
+            fresh.save()
+        finally:
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=30) == 0
+        merged = ShardedStore(corpus).namespace(KEY)
+        assert merged.lookup(("survivor",)) == ("Hit",)
+        assert merged.lookup(("post-crash",)) == ("Miss",)
+
+
+# ------------------------------------------------------------- learning stack
+
+
+class TestLearningOverServer:
+    def test_warm_start_over_server_reexecutes_zero_queries(self, handle):
+        from repro.experiments.table2 import run_table2
+
+        configurations = [("LRU", 2)]
+        cold = open_store(handle.address)
+        rows = run_table2(configurations=configurations, store=cold)
+        assert all(row.identified for row in rows)
+        assert rows[0].membership_queries > 0
+        cold.save()
+
+        warm = open_store(handle.address)
+        rows = run_table2(configurations=configurations, store=warm)
+        assert all(row.identified for row in rows)
+        assert [row.membership_queries for row in rows] == [0]
+
+    def test_concurrent_writer_processes_via_server(self, tmp_path, corpus):
+        """Four writer processes through one server: nothing lost."""
+        process, address = start_server_process(corpus, f"unix://{tmp_path}/n.sock")
+        script = """
+import sys
+from repro.store import open_store
+address, writer_id, records = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+store = open_store(address)
+own = store.namespace(("bench", "writer", writer_id))
+shared = store.namespace(("bench", "shared"))
+for i in range(records):
+    own.record((f"w{writer_id}", f"b{i}"), (None, "Hit"))
+    store.save()
+    shared.record((f"s{i % 7}", f"x{i}"), (None, "Miss"))
+    store.save()
+"""
+        records = 10
+        try:
+            writers = [
+                subprocess.Popen(
+                    [sys.executable, "-c", script, address, str(w), str(records)],
+                    env={**os.environ, "PYTHONPATH": "src"},
+                )
+                for w in range(4)
+            ]
+            for writer in writers:
+                assert writer.wait(timeout=300) == 0
+        finally:
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=30) == 0
+
+        merged = ShardedStore(corpus)
+        for w in range(4):
+            words = {
+                word
+                for word, _ in merged.namespace(("bench", "writer", w)).iter_entries()
+            }
+            assert words == {(f"w{w}", f"b{i}") for i in range(records)}
+        shared = {
+            word for word, _ in merged.namespace(("bench", "shared")).iter_entries()
+        }
+        assert shared == {(f"s{i % 7}", f"x{i}") for i in range(records)}
