@@ -1,20 +1,22 @@
-"""L* vs Kearns–Vazirani: queries per discovered state across the registry.
+"""L* vs Kearns–Vazirani vs TTT: cost per discovered state across the registry.
 
-The acceptance experiment of the KV-learner PR, in three parts:
+The acceptance experiment of the tree-learner PRs, in three parts:
 
 * **Curve** — every registry policy at associativity 2, conformance depth
-  1, learned by both learners.  For each policy the benchmark records the
-  learner-attributed executed membership queries (engine total minus
-  conformance-suite executions — the apples-to-apples cost of the learning
-  algorithm, see ``LearningResult.learner_queries``), the engine totals,
-  and the queries-per-state ratio.  Both learners must produce bit-identical
-  minimal machines.
-* **Head-to-head** — the two configurations the PR's acceptance criteria
-  name: PLRU at associativity 8 (the paper's 128-state machine) and SRRIP-HP
-  at conformance depth 2.  KV must issue *strictly fewer* learner-attributed
-  queries than L* on both.
+  1, learned by all three learners.  For each policy the benchmark records
+  the learner-attributed executed membership queries *and symbols* (engine
+  totals minus conformance-suite executions — the apples-to-apples cost of
+  the learning algorithm, see ``LearningResult.learner_queries`` /
+  ``learner_symbols``), wall-clock seconds, and — for the tree learners —
+  the longest discriminator of the final classification tree.  All three
+  learners must produce bit-identical minimal machines.
+* **Head-to-head** — the configurations the PRs' acceptance criteria name:
+  PLRU at associativity 8 (the paper's 128-state machine) and SRRIP-HP at
+  conformance depth 2.  KV must issue strictly fewer learner-attributed
+  queries than L*; TTT must additionally keep PLRU-8 wall clock within
+  1.5x of L* (KV is ~2-4x) while executing the fewest learner symbols.
 * **Budgeted attempt** — PLRU-16 (32768 states) and SRRIP-HP-4 at depth 3
-  under a hard executed-query budget that neither learner can finish within
+  under a hard executed-query budget that no learner can finish within
   (L* cannot finish these in any practical budget; PLRU-16 alone is days of
   compute).  The benchmark records how many states each learner discovered
   when the budget cut it off, read live from ``ActiveLearner
@@ -45,11 +47,20 @@ from repro.polca.algorithm import PolcaMembershipOracle
 from repro.polca.interfaces import SimulatedCacheInterface
 from repro.polca.pipeline import learn_simulated_policy
 
+#: Every learner the benchmark compares, in report order.
+LEARNERS = ("lstar", "kv", "ttt")
+
 #: The acceptance head-to-heads: (policy, associativity, conformance depth).
 HEAD_TO_HEAD = [
     ("PLRU", 8, 1),
     ("SRRIP-HP", 2, 2),
 ]
+
+#: Registry policies with at least 7 minimal states at associativity 2 —
+#: the rows where the TTT acceptance criterion demands strictly fewer
+#: learner-attributed executed symbols than KV (on tiny machines the two
+#: trees coincide and the probe sets are too small to separate).
+LARGE_CURVE_POLICIES = ("BIP", "BRRIP-FP", "CLOCK", "NEW2", "SRRIP-FP", "SRRIP-HP")
 
 #: Configurations L* cannot finish: (policy, associativity, depth, budget).
 #: PLRU-16 is the paper's 32768-state machine; SRRIP-HP-4 at depth 3 pairs a
@@ -85,15 +96,15 @@ class QueryBudgetOracle:
         return self.inner.output_query(word)
 
 
-def run_pair(policy_name, associativity, depth):
-    """Learn one configuration with both learners; assert identical machines."""
+def run_trio(policy_name, associativity, depth, learners=LEARNERS):
+    """Learn one configuration with every learner; assert identical machines."""
     entry = {
         "policy": policy_name,
         "associativity": associativity,
         "depth": depth,
     }
     machines = {}
-    for learner_name in ("lstar", "kv"):
+    for learner_name in learners:
         start = time.perf_counter()
         report = learn_simulated_policy(
             make_policy(policy_name, associativity),
@@ -104,21 +115,41 @@ def run_pair(policy_name, associativity, depth):
         seconds = time.perf_counter() - start
         machines[learner_name] = report.machine
         result = report.learning_result
-        entry[learner_name] = {
+        record = {
             "states": report.num_states,
             "learner_queries": result.learner_queries,
+            "learner_symbols": result.learner_symbols,
             "total_queries": result.statistics.membership_queries,
             "rounds": result.rounds,
             "seconds": round(seconds, 3),
         }
-    assert machines["kv"] == machines["lstar"], (
-        f"{policy_name}-{associativity}: KV learned a different machine than L*!"
-    )
+        # Tree learners carry their final classification tree's longest
+        # discriminator; the observation table has no analogue.
+        if "max_discriminator_length" in report.extra:
+            record["max_discriminator_length"] = report.extra["max_discriminator_length"]
+        if "ttt_finalized_discriminators" in report.extra:
+            record["finalized_discriminators"] = report.extra[
+                "ttt_finalized_discriminators"
+            ]
+        entry[learner_name] = record
+    baseline = learners[0]
+    for learner_name in learners[1:]:
+        assert machines[learner_name] == machines[baseline], (
+            f"{policy_name}-{associativity}: {learner_name} learned a different "
+            f"machine than {baseline}!"
+        )
     entry["identical_machines"] = True
-    states = entry["lstar"]["states"]
-    entry["lstar_queries_per_state"] = round(entry["lstar"]["learner_queries"] / states, 2)
-    entry["kv_queries_per_state"] = round(entry["kv"]["learner_queries"] / states, 2)
+    states = entry[baseline]["states"]
+    for learner_name in learners:
+        entry[f"{learner_name}_queries_per_state"] = round(
+            entry[learner_name]["learner_queries"] / states, 2
+        )
     return entry
+
+
+def run_pair(policy_name, associativity, depth):
+    """Back-compat wrapper: the original two-learner comparison."""
+    return run_trio(policy_name, associativity, depth, learners=("lstar", "kv"))
 
 
 def run_budgeted(policy_name, associativity, depth, budget, learner_name):
@@ -151,16 +182,26 @@ def run_benchmark(policies=None):
     """Produce the full BENCH payload (curve + head-to-heads + budgeted)."""
     payload = {
         "benchmark": "bench_kv_vs_lstar",
+        "learners": list(LEARNERS),
         "curve": [],
         "head_to_head": [],
         "budgeted_attempts": [],
     }
     for policy_name in policies if policies is not None else available_policies():
-        payload["curve"].append(run_pair(policy_name, 2, 1))
+        payload["curve"].append(run_trio(policy_name, 2, 1))
     for policy_name, associativity, depth in HEAD_TO_HEAD:
-        entry = run_pair(policy_name, associativity, depth)
+        entry = run_trio(policy_name, associativity, depth)
         entry["kv_strictly_fewer"] = (
             entry["kv"]["learner_queries"] < entry["lstar"]["learner_queries"]
+        )
+        entry["ttt_fewest_symbols"] = entry["ttt"]["learner_symbols"] == min(
+            entry[name]["learner_symbols"] for name in LEARNERS
+        )
+        entry["ttt_wall_vs_lstar"] = round(
+            entry["ttt"]["seconds"] / entry["lstar"]["seconds"], 2
+        )
+        entry["kv_wall_vs_lstar"] = round(
+            entry["kv"]["seconds"] / entry["lstar"]["seconds"], 2
         )
         payload["head_to_head"].append(entry)
     for policy_name, associativity, depth, budget in BUDGETED_ATTEMPTS:
@@ -170,7 +211,7 @@ def run_benchmark(policies=None):
             "depth": depth,
             "budget": budget,
         }
-        for learner_name in ("lstar", "kv"):
+        for learner_name in LEARNERS:
             entry[learner_name] = run_budgeted(
                 policy_name, associativity, depth, budget, learner_name
             )
@@ -179,56 +220,133 @@ def run_benchmark(policies=None):
 
 
 def report_payload(payload):
-    print(f"{'policy':>10} {'states':>6} {'L* lq':>7} {'KV lq':>7} {'L* q/st':>8} {'KV q/st':>8}")
+    print(
+        f"{'policy':>10} {'states':>6} "
+        f"{'L* lq':>7} {'KV lq':>7} {'TTT lq':>7} "
+        f"{'L* sym':>8} {'KV sym':>8} {'TTT sym':>8} "
+        f"{'KV disc':>7} {'TTT disc':>8}"
+    )
     for entry in payload["curve"]:
         print(
             f"{entry['policy']:>10} {entry['lstar']['states']:>6} "
-            f"{entry['lstar']['learner_queries']:>7} {entry['kv']['learner_queries']:>7} "
-            f"{entry['lstar_queries_per_state']:>8} {entry['kv_queries_per_state']:>8}"
+            f"{entry['lstar']['learner_queries']:>7} "
+            f"{entry['kv']['learner_queries']:>7} "
+            f"{entry['ttt']['learner_queries']:>7} "
+            f"{entry['lstar']['learner_symbols']:>8} "
+            f"{entry['kv']['learner_symbols']:>8} "
+            f"{entry['ttt']['learner_symbols']:>8} "
+            f"{entry['kv']['max_discriminator_length']:>7} "
+            f"{entry['ttt']['max_discriminator_length']:>8}"
         )
     for entry in payload["head_to_head"]:
         print(
             f"head-to-head {entry['policy']}-{entry['associativity']} depth "
-            f"{entry['depth']}: L* {entry['lstar']['learner_queries']} vs KV "
-            f"{entry['kv']['learner_queries']} learner-attributed executed queries "
-            f"(KV strictly fewer: {entry['kv_strictly_fewer']})"
+            f"{entry['depth']}: learner queries L* {entry['lstar']['learner_queries']} "
+            f"/ KV {entry['kv']['learner_queries']} / TTT "
+            f"{entry['ttt']['learner_queries']}; symbols "
+            f"{entry['lstar']['learner_symbols']} / {entry['kv']['learner_symbols']} "
+            f"/ {entry['ttt']['learner_symbols']}; wall "
+            f"{entry['lstar']['seconds']}s / {entry['kv']['seconds']}s / "
+            f"{entry['ttt']['seconds']}s (TTT/L* = {entry['ttt_wall_vs_lstar']})"
         )
     for entry in payload["budgeted_attempts"]:
+        cutoffs = ", ".join(
+            f"{name} finished={entry[name]['finished']} at "
+            f"{entry[name]['states_discovered']} states"
+            for name in LEARNERS
+        )
         print(
             f"budgeted {entry['policy']}-{entry['associativity']} depth "
-            f"{entry['depth']} (budget {entry['budget']}): "
-            f"L* finished={entry['lstar']['finished']} at "
-            f"{entry['lstar']['states_discovered']} states, KV "
-            f"finished={entry['kv']['finished']} at "
-            f"{entry['kv']['states_discovered']} states"
+            f"{entry['depth']} (budget {entry['budget']}): {cutoffs}"
         )
+
+
+def check_acceptance(payload):
+    """Assert the acceptance criteria on a full payload; return the findings."""
+    findings = []
+    for entry in payload["head_to_head"]:
+        label = f"{entry['policy']}-{entry['associativity']}"
+        assert entry["kv_strictly_fewer"], (
+            f"{label}: KV did not issue strictly fewer learner-attributed "
+            "queries than L*"
+        )
+        assert entry["ttt_fewest_symbols"], (
+            f"{label}: TTT did not execute the fewest learner-attributed symbols"
+        )
+        if entry["policy"] == "PLRU" and entry["associativity"] == 8:
+            assert entry["ttt_wall_vs_lstar"] <= 1.5, (
+                f"PLRU-8: TTT wall clock {entry['ttt_wall_vs_lstar']}x L* "
+                "exceeds the 1.5x acceptance bound"
+            )
+            findings.append(
+                f"PLRU-8 wall: TTT {entry['ttt']['seconds']}s vs L* "
+                f"{entry['lstar']['seconds']}s ({entry['ttt_wall_vs_lstar']}x)"
+            )
+    by_policy = {entry["policy"]: entry for entry in payload["curve"]}
+    for policy_name in LARGE_CURVE_POLICIES:
+        entry = by_policy.get(policy_name)
+        if entry is None:
+            continue
+        assert entry["ttt"]["learner_symbols"] < entry["kv"]["learner_symbols"], (
+            f"{policy_name}: TTT learner symbols "
+            f"{entry['ttt']['learner_symbols']} not strictly below KV's "
+            f"{entry['kv']['learner_symbols']}"
+        )
+        assert (
+            entry["ttt"]["max_discriminator_length"]
+            <= entry["kv"]["max_discriminator_length"]
+        ), (
+            f"{policy_name}: TTT max discriminator length "
+            f"{entry['ttt']['max_discriminator_length']} exceeds KV's "
+            f"{entry['kv']['max_discriminator_length']}"
+        )
+        findings.append(
+            f"{policy_name}: TTT {entry['ttt']['learner_symbols']} symbols "
+            f"< KV {entry['kv']['learner_symbols']}"
+        )
+    return findings
 
 
 # --------------------------------------------------------------------- pytest
 
 
 def test_curve_smoke_identical_and_no_worse():
-    """Cheap registry slice: identical machines, KV learner-side no worse."""
+    """Cheap registry slice: identical machines, tree learners no worse."""
     for policy_name in ("LRU", "CLOCK", "SRRIP-FP"):
-        entry = run_pair(policy_name, 2, 1)
+        entry = run_trio(policy_name, 2, 1)
         assert entry["identical_machines"]
         assert entry["kv"]["learner_queries"] <= entry["lstar"]["learner_queries"]
+        assert entry["ttt"]["learner_queries"] <= entry["kv"]["learner_queries"]
+
+
+def test_curve_ttt_fewest_symbols_on_large_policies():
+    """On >= 7-state registry policies TTT pays the fewest learner symbols."""
+    for policy_name in ("CLOCK", "NEW2"):
+        entry = run_trio(policy_name, 2, 1)
+        assert entry["ttt"]["learner_symbols"] < entry["kv"]["learner_symbols"]
+        assert (
+            entry["ttt"]["max_discriminator_length"]
+            <= entry["kv"]["max_discriminator_length"]
+        )
 
 
 def test_head_to_head_srrip_depth2():
-    """SRRIP-HP at depth 2: KV strictly fewer learner-attributed queries."""
-    entry = run_pair("SRRIP-HP", 2, 2)
+    """SRRIP-HP at depth 2: KV strictly fewer queries, TTT fewest symbols."""
+    entry = run_trio("SRRIP-HP", 2, 2)
     assert entry["identical_machines"]
     assert entry["kv"]["learner_queries"] < entry["lstar"]["learner_queries"]
+    assert entry["ttt"]["learner_symbols"] <= entry["kv"]["learner_symbols"]
 
 
 @pytest.mark.slow
 def test_head_to_head_plru8():
-    """PLRU-8 (128 states): KV strictly fewer learner-attributed queries."""
-    entry = run_pair("PLRU", 8, 1)
+    """PLRU-8 (128 states): tree learners cheaper; TTT wall within 1.5x L*."""
+    entry = run_trio("PLRU", 8, 1)
     assert entry["lstar"]["states"] == 128
     assert entry["identical_machines"]
     assert entry["kv"]["learner_queries"] < entry["lstar"]["learner_queries"]
+    assert entry["ttt"]["learner_symbols"] < entry["kv"]["learner_symbols"]
+    assert entry["ttt"]["seconds"] <= 1.5 * entry["lstar"]["seconds"]
 
 
 def test_budgeted_attempt_cuts_off_lstar():
@@ -254,11 +372,8 @@ def main(argv=None):
     arguments = parser.parse_args(sys.argv[1:] if argv is None else argv)
     payload = run_benchmark()
     report_payload(payload)
-    for entry in payload["head_to_head"]:
-        assert entry["kv_strictly_fewer"], (
-            f"{entry['policy']}-{entry['associativity']}: KV did not issue "
-            "strictly fewer learner-attributed queries than L*"
-        )
+    for line in check_acceptance(payload):
+        print(f"acceptance: {line}")
     if arguments.json:
         with open(arguments.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)

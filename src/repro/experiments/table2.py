@@ -87,6 +87,11 @@ class Table2Row:
     #: minus conformance-suite executions) — the apples-to-apples cost when
     #: comparing learners, since suite vocabulary overlap differs per learner.
     learner_queries: int = 0
+    #: Executed *symbols* attributed to the learner, same attribution as
+    #: ``learner_queries``.  Queries alone cannot show a
+    #: shorter-discriminator win: two learners can ask the same number of
+    #: words while one pays fewer symbols per word.
+    learner_symbols: int = 0
 
     @property
     def matches_paper(self) -> Optional[bool]:
@@ -197,6 +202,7 @@ def run_table2(
                 learner=report.learning_result.learner,
                 per_round_queries=tuple(report.learning_result.per_round_queries),
                 learner_queries=report.learning_result.learner_queries,
+                learner_symbols=report.learning_result.learner_symbols,
             )
         )
     return rows
@@ -213,6 +219,7 @@ def format_table2(rows: Sequence[Table2Row]) -> str:
         "Match",
         "Time",
         "Memb. queries",
+        "Lrn. symbols",
         "Cache probes",
         "Cache hits",
         "Skipped",
@@ -227,6 +234,7 @@ def format_table2(rows: Sequence[Table2Row]) -> str:
             {True: "yes", False: "NO", None: "-"}[row.matches_paper],
             format_seconds(row.seconds),
             row.membership_queries,
+            row.learner_symbols,
             row.cache_probes,
             row.cache_hits,
             row.tests_skipped,

@@ -104,6 +104,9 @@ class Table4Row:
     #: Executed queries attributed to the learner's own probes (engine total
     #: minus conformance-suite executions).
     learner_queries: int = 0
+    #: Executed symbols attributed to the learner (same attribution) — the
+    #: column that exposes a shorter-discriminator win queries cannot show.
+    learner_symbols: int = 0
 
     @property
     def matches_paper_policy(self) -> Optional[bool]:
@@ -311,6 +314,7 @@ def run_table4_configuration(
         learner=report.learning_result.learner,
         per_round_queries=tuple(report.learning_result.per_round_queries),
         learner_queries=report.learning_result.learner_queries,
+        learner_symbols=report.learning_result.learner_symbols,
     )
 
 
@@ -369,6 +373,7 @@ def format_table4(rows: Sequence[Table4Row]) -> str:
         "Reset",
         "Time",
         "Memb. queries",
+        "Lrn. symbols",
         "Cache hits",
         "Note",
     )
@@ -385,6 +390,7 @@ def format_table4(rows: Sequence[Table4Row]) -> str:
             row.reset,
             format_seconds(row.seconds),
             row.membership_queries,
+            row.learner_symbols,
             row.cache_hits,
             row.note,
         )

@@ -78,6 +78,7 @@ from repro.learning.learner import (
     make_learner,
 )
 from repro.learning.kv import ClassificationTree, KVLearner
+from repro.learning.ttt import TTTLearner, TTTTree
 
 __all__ = [
     "ResponseTrie",
@@ -121,4 +122,6 @@ __all__ = [
     "make_learner",
     "ClassificationTree",
     "KVLearner",
+    "TTTLearner",
+    "TTTTree",
 ]

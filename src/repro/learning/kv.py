@@ -84,9 +84,15 @@ class _Inner:
     this node: the tree is seeded with one discriminator per input symbol
     (the classification-tree analogue of L*'s initial columns), and the
     chain materialises lazily as sifted words reach each level.
+
+    ``temporary`` marks a discriminator taken verbatim from a
+    Rivest–Schapire decomposition (so its length tracks the counterexample,
+    not the tree): plain KV never sets it, the TTT refinement
+    (:mod:`repro.learning.ttt`) flags split nodes and later finalizes them
+    to their shortest verified equivalent.
     """
 
-    __slots__ = ("suffix", "children", "parent", "key", "chain")
+    __slots__ = ("suffix", "children", "parent", "key", "chain", "temporary")
 
     def __init__(
         self,
@@ -100,6 +106,7 @@ class _Inner:
         self.parent = parent
         self.key = key
         self.chain = chain
+        self.temporary = False
 
 
 _Node = Union[_Leaf, _Inner]
@@ -183,6 +190,28 @@ class ClassificationTree:
                 suffixes.append(node.suffix)
                 stack.extend(node.children.values())
         return tuple(suffixes)
+
+    def discriminator_lengths(self) -> Dict[int, int]:
+        """Histogram ``{suffix length: count}`` over the tree's discriminators.
+
+        Only discriminators with at least one leaf below them count — a
+        chain node that never materialised children is not a discriminator
+        the learner ever paid for.
+        """
+        histogram: Dict[int, int] = {}
+        stack: List[_Node] = [self.root]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, _Inner) and node.children:
+                histogram[len(node.suffix)] = histogram.get(len(node.suffix), 0) + 1
+                stack.extend(node.children.values())
+        return histogram
+
+    @property
+    def max_discriminator_length(self) -> int:
+        """Longest discriminator a sift can currently pay for (0 for a bare tree)."""
+        histogram = self.discriminator_lengths()
+        return max(histogram) if histogram else 0
 
     # -------------------------------------------------------------- internals
 
@@ -408,7 +437,17 @@ class ClassificationTree:
         leaf.parent = inner
         leaf.key = old_tail
         inner.children[old_tail] = leaf
-        return self._create_leaf(new_access, inner, new_tail, origin="split")
+        new_leaf = self._create_leaf(new_access, inner, new_tail, origin="split")
+        self._on_split(inner, leaf, new_leaf)
+        return new_leaf
+
+    def _on_split(self, inner: _Inner, old_leaf: _Leaf, new_leaf: _Leaf) -> None:
+        """Hook invoked after :meth:`split` wires a new inner node in.
+
+        Plain KV does nothing; the TTT tree marks ``inner`` temporary,
+        finalizes it to a shorter discriminator when it can, and re-enqueues
+        only the transition words resident in the split subtree.
+        """
 
     def lca_suffix(self, state_a: int, state_b: int) -> Word:
         """Distinguishing suffix at the lowest common ancestor of two leaves.
@@ -488,6 +527,10 @@ class KVLearner(ActiveLearner):
     name = "kv"
     counterexample_strategies = ("rivest-schapire",)
 
+    #: Tree implementation the learner builds; the TTT learner swaps in its
+    #: finalizing/incrementally-sifting subclass without re-stating the loop.
+    tree_class = ClassificationTree
+
     #: The classification tree of the current/most recent run (None before
     #: :meth:`learn`); exposed so budget-interrupted runs stay inspectable.
     tree: Optional[ClassificationTree] = None
@@ -534,10 +577,12 @@ class KVLearner(ActiveLearner):
     def _learn(self) -> LearningResult:
         start = time.perf_counter()
         self._suite_queries = 0
+        self._suite_symbols = 0
         origin = self._executed_queries()
+        symbol_origin = self._executed_symbols()
         round_mark = origin
         per_round_queries: List[int] = []
-        tree = ClassificationTree(
+        tree = self.tree_class(
             self.alphabet,
             self.membership_oracle,
             pool=self.pool,
@@ -564,6 +609,9 @@ class KVLearner(ActiveLearner):
                     learner_queries=self._executed_queries()
                     - origin
                     - self._suite_queries,
+                    learner_symbols=self._executed_symbols()
+                    - symbol_origin
+                    - self._suite_symbols,
                 )
             word = tuple(counterexample)
             counterexamples.append(word)

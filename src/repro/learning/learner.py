@@ -51,7 +51,7 @@ Word = Tuple[Input, ...]
 CACHE_BACKENDS = ("trie", "dict")
 
 #: Learner names accepted by :func:`make_learner` (and the ``--learner`` knob).
-LEARNER_NAMES = ("lstar", "kv")
+LEARNER_NAMES = ("lstar", "kv", "ttt")
 
 
 @dataclass
@@ -76,6 +76,13 @@ class LearningResult:
     #: with L*'s table words than with KV's sift probes, so engine totals
     #: mix the two cost centres.
     learner_queries: int = 0
+    #: Executed membership *symbols* attributed to the learner's own probes
+    #: (engine symbol total minus suite executions) — the companion of
+    #: :attr:`learner_queries` that shows discriminator-length wins: two
+    #: learners can execute the same number of probe words while one pays
+    #: far fewer symbols per word (TTT's finalized discriminators vs KV's
+    #: verbatim Rivest–Schapire suffixes).
+    learner_symbols: int = 0
 
     @property
     def num_states(self) -> int:
@@ -172,6 +179,7 @@ class ActiveLearner:
         elif workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self._suite_queries = 0
+        self._suite_symbols = 0
 
     def learn(self) -> LearningResult:
         """Run the learning loop until the equivalence oracle is satisfied."""
@@ -199,19 +207,29 @@ class ActiveLearner:
             return statistics.membership_queries
         return 0
 
+    def _executed_symbols(self) -> int:
+        """Executed membership symbols of the engine so far (0 if untracked)."""
+        statistics = getattr(self.membership_oracle, "statistics", None)
+        if isinstance(statistics, QueryStatistics):
+            return statistics.membership_symbols
+        return 0
+
     def _find_counterexample(self, hypothesis: MealyMachine):
         """One equivalence query, attributing its executions to the suite.
 
         The equivalence oracle usually shares the learner's query engine, so
         its executed words land in the same counter as the learner's own
         probes; snapshotting around the call splits the two cost centres and
-        feeds :attr:`LearningResult.learner_queries`.
+        feeds :attr:`LearningResult.learner_queries` /
+        :attr:`LearningResult.learner_symbols`.
         """
         before = self._executed_queries()
+        before_symbols = self._executed_symbols()
         try:
             return self.equivalence_oracle.find_counterexample(hypothesis)
         finally:
             self._suite_queries += self._executed_queries() - before
+            self._suite_symbols += self._executed_symbols() - before_symbols
 
     def _collect_statistics(self) -> QueryStatistics:
         statistics = QueryStatistics()
@@ -258,7 +276,9 @@ class MealyLearner(ActiveLearner):
     def _learn(self) -> LearningResult:
         start = time.perf_counter()
         self._suite_queries = 0
+        self._suite_symbols = 0
         origin = self._executed_queries()
+        symbol_origin = self._executed_symbols()
         round_mark = origin
         per_round_queries: List[int] = []
         table = ObservationTable(
@@ -289,6 +309,9 @@ class MealyLearner(ActiveLearner):
                     learner_queries=self._executed_queries()
                     - origin
                     - self._suite_queries,
+                    learner_symbols=self._executed_symbols()
+                    - symbol_origin
+                    - self._suite_symbols,
                 )
             counterexamples.append(tuple(counterexample))
             previous_size = hypothesis.size
@@ -320,23 +343,41 @@ def make_learner(
     equivalence_oracle: EquivalenceOracle,
     **kwargs,
 ) -> ActiveLearner:
-    """Build a learner by registry name (``"lstar"`` or ``"kv"``).
+    """Build a learner by registry name (``"lstar"``, ``"kv"`` or ``"ttt"``).
 
     This is the single construction point behind the ``--learner`` knob of
     the pipeline, the experiment tables and the CLI; unknown names raise
-    :class:`~repro.errors.LearningError` so a typo fails loudly instead of
-    silently learning with the default algorithm.
+    :class:`~repro.errors.LearningError` listing the valid names
+    (:data:`LEARNER_NAMES`) so a typo fails loudly instead of silently
+    learning with the default algorithm.
+    """
+    cls = _learner_class(name)
+    if cls is None:
+        raise LearningError(
+            f"unknown learner {name!r}; expected one of {LEARNER_NAMES}"
+        )
+    return cls(alphabet, membership_oracle, equivalence_oracle, **kwargs)
+
+
+def _learner_class(name: str):
+    """Resolve a registry name to its learner class (None when unknown).
+
+    The tree learners import lazily so ``repro.learning.learner`` stays
+    import-cycle-free (:mod:`repro.learning.kv` imports this module for the
+    :class:`ActiveLearner` base).
     """
     normalized = name.lower()
     if normalized == "lstar":
-        return MealyLearner(alphabet, membership_oracle, equivalence_oracle, **kwargs)
+        return MealyLearner
     if normalized == "kv":
         from repro.learning.kv import KVLearner
 
-        return KVLearner(alphabet, membership_oracle, equivalence_oracle, **kwargs)
-    raise LearningError(
-        f"unknown learner {name!r}; expected one of {LEARNER_NAMES}"
-    )
+        return KVLearner
+    if normalized == "ttt":
+        from repro.learning.ttt import TTTLearner
+
+        return TTTLearner
+    return None
 
 
 def learn_mealy_machine(

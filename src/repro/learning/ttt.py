@@ -1,0 +1,432 @@
+"""TTT-style refinement of the Kearns–Vazirani classification tree.
+
+PR 7's :class:`~repro.learning.kv.ClassificationTree` keeps every
+Rivest–Schapire suffix verbatim, so discriminators grow with
+counterexample length, and every :meth:`hypothesis` rebuild re-sifts
+*all* transition words from the root.  Both costs are constants the tree
+never earns back: sift probes pay the discriminator's length on every
+descent, and the full re-sift repeats thousands of trie lookups per
+rebuild just to land every word on the leaf it already occupied.
+
+:class:`TTTTree` applies the two ideas of Isberner et al.'s TTT
+algorithm (the successor of KV that AALpy ships — see SNIPPETS.md
+snippet 1):
+
+* **Discriminator finalization** — a split's Rivest–Schapire suffix is
+  marked *temporary* and immediately challenged: single-symbol
+  candidates are verified with one batched probe round (the probe words
+  are the split leaves' output words, which the next hypothesis build
+  needs anyway, so the verification is almost free), and one-symbol
+  extensions of already-final discriminators are accepted when the
+  response trie can decide them without executing anything.  A candidate
+  replaces the temporary suffix only when real target answers prove it
+  induces exactly the same child partition, so the tree invariant — the
+  target separates the leaves at every inner node — survives every
+  re-keying.  Temporary nodes that resist finalization are retried
+  (trie-only) after each later split, when new answers may have made a
+  short candidate decidable.
+
+* **Incremental sifting** — the tree keeps a residency map from each
+  leaf to the transition words parked on it plus a persistent transition
+  and output table.  After a split only the words resident in the split
+  subtree re-sift (they descend exactly one level, through the — ideally
+  just finalized — new discriminator); everything else keeps its entry.
+  ``hypothesis()`` therefore costs O(new evidence), not O(all
+  transitions), which removes the constant fan-in re-sift overhead
+  ``tests/test_kv.py`` pins on NRU.
+
+The learned machines stay bit-identical to L*'s and KV's: every learner
+converges on the canonical minimal machine of the target, whatever
+refinement trajectory it takes (the same argument that lets KV and L*
+disagree on every intermediate hypothesis yet return ``==``-equal
+machines).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.core.mealy import MealyMachine
+from repro.learning.kv import ClassificationTree, KVLearner, _Inner, _Leaf, _Node
+from repro.learning.oracles import MembershipOracle
+from repro.learning.parallel import WorkerPool
+
+Input = Hashable
+Word = Tuple[Input, ...]
+OutputWord = Tuple[Hashable, ...]
+
+
+class TTTTree(ClassificationTree):
+    """A classification tree with discriminator finalization and
+    incremental sifting (see the module docstring for the algorithm)."""
+
+    def __init__(
+        self,
+        alphabet: Sequence[Input],
+        oracle: MembershipOracle,
+        *,
+        pool: Optional[WorkerPool] = None,
+        chunk_size: int = 64,
+    ) -> None:
+        super().__init__(alphabet, oracle, pool=pool, chunk_size=chunk_size)
+        # No seeded single-symbol chain: a TTT tree holds only the
+        # discriminators its splits actually created (each finalized to the
+        # shortest verified candidate), so a sift pays for the discriminators
+        # on its path instead of answering every single-symbol suffix the way
+        # the base class's L*-style seeding makes it.  The root is the one
+        # unavoidable Mealy discriminator — some single symbol — and the
+        # states the chain used to separate for free are discovered through
+        # counterexamples, whose Rivest–Schapire suffixes the singles tier
+        # then finalizes right back down to length one.
+        self.root = _Inner((alphabet[0],), None, None, ())
+        # Persistent hypothesis state: the transition/output tables survive
+        # across rebuilds, and ``_pending`` holds the sift entries that still
+        # have to descend ([state, symbol, word, node], exactly the base
+        # class's shape).  ``_residents`` maps each leaf to the transition
+        # words currently parked on it, so a split knows the *only* words its
+        # new discriminator can re-route.
+        self._transitions: Dict[Tuple[int, Input], int] = {}
+        self._outputs: Dict[Tuple[int, Input], Hashable] = {}
+        self._pending: List[List] = []
+        self._residents: Dict[_Leaf, List[Tuple[int, Input]]] = {}
+        self._scheduled_states = 0
+        self._bootstrapped = False
+        self._temporaries: List[_Inner] = []
+        #: Temporary discriminators replaced by a verified shortest candidate
+        #: (length-1 Rivest–Schapire suffixes count: they are already optimal).
+        self.discriminators_finalized = 0
+        #: ``(temporary length, finalized length)`` per finalization, in
+        #: finalization order — the "finalized never longer" pin.
+        self.finalization_shrinkage: List[Tuple[int, int]] = []
+        #: Transition words re-enqueued per split, in split order.  Plain KV
+        #: re-sifts every transition word on every rebuild; each entry here is
+        #: bounded by the split leaf's fan-in instead.
+        self.words_resifted_per_split: List[int] = []
+        #: Probe words submitted (mostly trie hits) while verifying
+        #: finalization candidates.
+        self.finalization_probe_words = 0
+
+    # ------------------------------------------------------------- inspection
+
+    @property
+    def temporary_discriminators(self) -> int:
+        """Temporary discriminators still awaiting finalization."""
+        return sum(1 for node in self._temporaries if node.temporary)
+
+    # ------------------------------------------------------------- hypothesis
+
+    def hypothesis(self) -> MealyMachine:
+        """Rebuild the hypothesis by sifting only what moved.
+
+        Identical level-synchronous batching to the base class, but the
+        entry list persists across calls: a call after a split advances only
+        the re-enqueued residents (plus the new state's fresh transitions),
+        and a call with nothing pending builds the machine straight from the
+        persistent tables without a single probe.
+        """
+        if not self._access and not self._bootstrapped:
+            # The same ε-bootstrap as the base class: the initial state's
+            # leaf is created by its sift, batched with state 0's transition
+            # probes that prefix-subsume ε's bare chain probes.
+            self._pending.append([None, None, (), self.root])
+            for symbol in self.alphabet:
+                self._pending.append([0, symbol, (symbol,), self.root])
+            self._scheduled_states = 1
+            self._bootstrapped = True
+
+        while True:
+            while self._scheduled_states < len(self._access):
+                source = self._scheduled_states
+                base = self._access[source]
+                for symbol in self.alphabet:
+                    self._pending.append([source, symbol, base + (symbol,), self.root])
+                self._scheduled_states += 1
+
+            still_sifting: List[List] = []
+            for entry in self._pending:
+                node = entry[3]
+                if isinstance(node, _Leaf):
+                    if entry[0] is not None:  # ε's bootstrap entry: no edge
+                        self._transitions[(entry[0], entry[1])] = node.state
+                        self._residents.setdefault(node, []).append(
+                            (entry[0], entry[1])
+                        )
+                else:
+                    still_sifting.append(entry)
+            self._pending = still_sifting
+            if not self._pending:
+                if self._scheduled_states == len(self._access):
+                    break
+                continue
+
+            probes = [entry[2] + entry[3].suffix for entry in self._pending]
+            answers = self._answer_batch(probes)
+            for entry, answer in zip(self._pending, answers):
+                word, node = entry[2], entry[3]
+                key = tuple(answer)[len(word):]
+                child = node.children.get(key)
+                if child is None:
+                    child = self._create_child(word, node, key)
+                entry[3] = child
+
+        # Output rows are keyed by (source state, symbol) and source access
+        # words never change, so only rows of newly discovered states are
+        # asked for (the base class re-asks every row each rebuild and leans
+        # on the trie to make the repeats free).
+        missing = [
+            (state, symbol)
+            for state in range(len(self._access))
+            for symbol in self.alphabet
+            if (state, symbol) not in self._outputs
+        ]
+        if missing:
+            words = [self._access[state] + (symbol,) for state, symbol in missing]
+            answers = self._answer_batch(words)
+            for (state, symbol), answer in zip(missing, answers):
+                self._outputs[(state, symbol)] = answer[-1]
+
+        return MealyMachine(
+            states=list(range(len(self._access))),
+            initial_state=0,
+            inputs=list(self.alphabet),
+            transitions=dict(self._transitions),
+            outputs=dict(self._outputs),
+        )
+
+    # ------------------------------------------------------------------ split
+
+    def _on_split(self, inner: _Inner, old_leaf: _Leaf, new_leaf: _Leaf) -> None:
+        """Mark the split temporary, finalize what can be finalized, and
+        re-enqueue exactly the split subtree's residents."""
+        inner.temporary = True
+        self._temporaries.append(inner)
+        # Finalize the fresh node *before* re-sifting its residents, so the
+        # re-sift probes pay the finalized (short) suffix instead of the
+        # verbatim Rivest–Schapire one.  This is the ONLY finalization
+        # window: right now the subtree holds exactly the two split leaves
+        # and zero parked residents (the old leaf's are about to re-sift
+        # through ``inner`` with fresh probes — ``resift_leaf``), so the
+        # two-word partition check is exhaustive and re-keying is sound.
+        # Re-keying later, once residents have parked below the node on the
+        # strength of the *old* suffix, would need every one of them
+        # re-verified — a retry pass that profiling showed costs more than
+        # every split combined while (residents' answers under untried
+        # suffixes being absent from the trie) never deciding a candidate.
+        self._finalize_node(inner, paid=True, resift_leaf=old_leaf)
+
+        residents = self._residents.pop(old_leaf, [])
+        requeued = 0
+        for state, symbol in residents:
+            word = self._access[state] + (symbol,)
+            if word == new_leaf.access:
+                # The transition whose target the counterexample disproved:
+                # its word *is* the new access word, so it lands on the new
+                # leaf by construction — no probe needed.
+                self._transitions[(state, symbol)] = new_leaf.state
+                self._residents.setdefault(new_leaf, []).append((state, symbol))
+            else:
+                self._pending.append([state, symbol, word, inner])
+                requeued += 1
+        self.words_resifted_per_split.append(requeued)
+
+    # ----------------------------------------------------------- finalization
+
+    def _leaves_below(self, node: _Node) -> List[_Leaf]:
+        leaves: List[_Leaf] = []
+        stack: List[_Node] = [node]
+        while stack:
+            current = stack.pop()
+            if isinstance(current, _Leaf):
+                leaves.append(current)
+            else:
+                stack.extend(current.children.values())
+        return leaves
+
+    def _final_discriminators(self, shorter_than: int) -> List[Word]:
+        """Distinct final discriminators usable as extension bases, i.e.
+        those whose one-symbol extension would still shrink the suffix."""
+        suffixes: List[Word] = []
+        seen = set()
+        stack: List[_Node] = [self.root]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, _Inner):
+                if (
+                    not node.temporary
+                    and node.children
+                    and len(node.suffix) + 1 < shorter_than
+                    and node.suffix not in seen
+                ):
+                    seen.add(node.suffix)
+                    suffixes.append(node.suffix)
+                stack.extend(node.children.values())
+        suffixes.sort(key=lambda s: (len(s), tuple(repr(symbol) for symbol in s)))
+        return suffixes
+
+    def _adopt(
+        self,
+        node: _Inner,
+        candidate: Word,
+        tails_by_child: List[Tuple[_Node, OutputWord]],
+    ) -> None:
+        """Re-key ``node`` to the verified shorter discriminator."""
+        self.finalization_shrinkage.append((len(node.suffix), len(candidate)))
+        node.suffix = candidate
+        node.temporary = False
+        node.children = {}
+        for child, tail in tails_by_child:
+            child.key = tail
+            node.children[tail] = child
+        self.discriminators_finalized += 1
+        # Any entry still sifting strictly below this node routed through it
+        # via the *old* suffix; restart it here so its descent re-derives
+        # from real answers to the new one.  (``refine`` only runs between
+        # completed builds, so this list is empty in practice — pure
+        # insurance.)
+        for entry in self._pending:
+            current = entry[3]
+            while current is not None and current is not node:
+                current = current.parent
+            if current is node and entry[3] is not node:
+                entry[3] = node
+
+    def _words_below(
+        self, node: _Inner, resift_leaf: Optional[_Leaf]
+    ) -> List[Tuple[_Node, List[Word]]]:
+        """Per-child words whose routing a candidate suffix must preserve.
+
+        That is every leaf access word below the child *plus* every resident
+        transition word parked on those leaves: a resident's target state may
+        not be separated from its leaf's by the tree yet, so leaf answers
+        alone cannot prove the resident keeps routing to the same side —
+        and a mis-parked resident becomes a mis-placed access word at its
+        leaf's next split, corrupting the tree.  ``resift_leaf`` (the leaf a
+        split is about to re-sift) contributes only its access word: its
+        residents re-route from fresh answers immediately afterwards.
+        """
+        words_by_child: List[Tuple[_Node, List[Word]]] = []
+        for child in node.children.values():
+            words: List[Word] = []
+            for leaf in self._leaves_below(child):
+                words.append(leaf.access)
+                if leaf is resift_leaf:
+                    continue
+                for state, symbol in self._residents.get(leaf, ()):
+                    word = self._access[state] + (symbol,)
+                    if word != leaf.access:
+                        words.append(word)
+            words_by_child.append((child, words))
+        return words_by_child
+
+    def _partition(
+        self,
+        words_by_child: List[Tuple[_Node, List[Word]]],
+        answer_for,
+    ) -> Optional[List[Tuple[_Node, OutputWord]]]:
+        """Child re-keying for a candidate, or None when the partition breaks.
+
+        Valid iff every child subtree's words share one output tail and the
+        tails stay pairwise distinct — exactly the condition under which
+        swapping the suffix preserves which child every word below the node
+        (leaf access words and parked residents alike) routes to.
+        """
+        tails_by_child: List[Tuple[_Node, OutputWord]] = []
+        seen_tails = set()
+        for child, words in words_by_child:
+            tails = set()
+            for word in words:
+                answer = answer_for(word)
+                if answer is None:
+                    return None
+                tails.add(tuple(answer)[len(word):])
+            if len(tails) != 1:
+                return None
+            tail = tails.pop()
+            if tail in seen_tails:
+                return None
+            seen_tails.add(tail)
+            tails_by_child.append((child, tail))
+        return tails_by_child
+
+    def _finalize_node(
+        self, node: _Inner, *, paid: bool, resift_leaf: Optional[_Leaf] = None
+    ) -> None:
+        """Try to replace ``node``'s temporary suffix with a shorter one.
+
+        ``paid=True`` (the node's own split) verifies single-symbol
+        candidates with one real batched probe round; retries are trie-only
+        so a stubborn node never costs executions twice.
+        """
+        length = len(node.suffix)
+        if length <= 1:
+            # A one-symbol Rivest–Schapire suffix is already as short as a
+            # Mealy discriminator can be.
+            node.temporary = False
+            self.discriminators_finalized += 1
+            self.finalization_shrinkage.append((length, length))
+            return
+        words_by_child = self._words_below(node, resift_leaf)
+        all_words = [word for _, words in words_by_child for word in words]
+        cached_answer = getattr(self.oracle, "cached_answer", None)
+
+        singles = [(symbol,) for symbol in self.alphabet]
+        answers: Dict[Tuple[Word, Word], OutputWord] = {}
+        if paid:
+            # One deduped/prefix-subsumed batch: at a fresh split the words
+            # are just the two leaves' access words, and their probe words
+            # are output words the next hypothesis build needs anyway — so
+            # this verification costs (almost) nothing beyond moving those
+            # executions earlier.
+            probes = [
+                word + candidate for candidate in singles for word in all_words
+            ]
+            self.finalization_probe_words += len(probes)
+            flat = self._answer_batch(probes)
+            index = 0
+            for candidate in singles:
+                for word in all_words:
+                    answers[(candidate, word)] = flat[index]
+                    index += 1
+        elif cached_answer is not None:
+            for candidate in singles:
+                for word in all_words:
+                    answer = cached_answer(word + candidate)
+                    if answer is not None:
+                        answers[(candidate, word)] = answer
+
+        for candidate in singles:
+            tails = self._partition(
+                words_by_child, lambda word: answers.get((candidate, word))
+            )
+            if tails is not None:
+                self._adopt(node, candidate, tails)
+                return
+
+        if cached_answer is None:
+            return
+        # One-symbol extensions of already-final discriminators, shortest
+        # first, decided purely from the response trie — no executions.
+        for base in self._final_discriminators(shorter_than=length):
+            for symbol in self.alphabet:
+                candidate = (symbol,) + base
+                tails = self._partition(
+                    words_by_child,
+                    lambda word: cached_answer(word + candidate),
+                )
+                if tails is not None:
+                    self._adopt(node, candidate, tails)
+                    return
+
+
+class TTTLearner(KVLearner):
+    """The Kearns–Vazirani loop over a :class:`TTTTree`.
+
+    Everything — engine wrapping, pool semantics, Rivest–Schapire
+    refinement, counterexample exhaustion, internal minimality repair and
+    result shape — is inherited from :class:`~repro.learning.kv.KVLearner`;
+    only the tree implementation differs, which is the point: TTT is a
+    refinement layer on the classification tree, not a different learner.
+    """
+
+    name = "ttt"
+    tree_class = TTTTree

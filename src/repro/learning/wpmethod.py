@@ -40,8 +40,20 @@ consumer's in-flight window instead of the full suite.
 
 from __future__ import annotations
 
+from collections import deque
 from itertools import product
-from typing import Dict, Hashable, Iterable, Iterator, List, Sequence, Set, Tuple
+from typing import (
+    Deque,
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.core.mealy import MealyMachine
 from repro.errors import LearningError
@@ -84,37 +96,65 @@ def transition_cover(machine: MealyMachine) -> List[Word]:
 # --------------------------------------------------- characterization machinery
 
 def _distinguishing_suffix(
-    machine: MealyMachine, state_a: Hashable, state_b: Hashable
+    machine: MealyMachine,
+    state_a: Hashable,
+    state_b: Hashable,
+    cache: Optional[Dict[frozenset, Word]] = None,
 ) -> Word:
-    """Return a shortest input word on which ``state_a`` and ``state_b`` differ."""
+    """Return a shortest input word on which ``state_a`` and ``state_b`` differ.
+
+    The search is symmetric in its two states (swapping them swaps both
+    roles everywhere in the BFS), so an optional ``cache`` keyed by the
+    unordered pair lets one suite generation reuse the suffix the
+    characterization pass already found when the identification pass asks
+    about the same pair — same word either way, just computed once.
+    """
     if state_a == state_b:
         raise LearningError("cannot distinguish a state from itself")
+    if cache is not None:
+        pair_key = frozenset((state_a, state_b))
+        hit = cache.get(pair_key)
+        if hit is not None:
+            return hit
+    transitions = machine.transitions
+    outputs = machine.outputs
+    inputs = machine.inputs
     visited: Set[Tuple[Hashable, Hashable]] = {(state_a, state_b)}
-    queue: List[Tuple[Hashable, Hashable, Word]] = [(state_a, state_b, ())]
+    queue: Deque[Tuple[Hashable, Hashable, Word]] = deque([(state_a, state_b, ())])
     while queue:
-        current_a, current_b, word = queue.pop(0)
-        for symbol in machine.inputs:
-            next_a, out_a = machine.step(current_a, symbol)
-            next_b, out_b = machine.step(current_b, symbol)
+        current_a, current_b, word = queue.popleft()
+        for symbol in inputs:
+            key_a = (current_a, symbol)
+            key_b = (current_b, symbol)
             extended = word + (symbol,)
-            if out_a != out_b:
+            if outputs[key_a] != outputs[key_b]:
+                if cache is not None:
+                    cache[pair_key] = extended
                 return extended
-            pair = (next_a, next_b)
+            pair = (transitions[key_a], transitions[key_b])
             if pair not in visited:
                 visited.add(pair)
-                queue.append((next_a, next_b, extended))
+                queue.append((pair[0], pair[1], extended))
     raise LearningError(
         "states are equivalent; the machine is not minimal"
     )
 
 
-def characterization_set(machine: MealyMachine) -> List[Word]:
+def characterization_set(
+    machine: MealyMachine, *, _suffix_cache: Optional[Dict[frozenset, Word]] = None
+) -> List[Word]:
     """Return a characterization set ``W``: suffixes separating every state pair.
 
     The machine must be minimal (the learner's hypotheses are by
     construction).  The set is built greedily: for every pair of states not
     yet separated by the current ``W``, a shortest distinguishing suffix is
     added.
+
+    Each ``(state, word)`` output tail is computed once and the signature
+    lists extended lazily as ``W`` grows, so the greedy pair scan costs
+    O(|S|·|W|) machine runs instead of the O(|S|²·|W|) the per-pair
+    recomputation used to pay — the returned set is unchanged (same
+    suffixes, same order), this is purely how often ``machine.run`` fires.
     """
     states = list(machine.states)
     if len(states) <= 1:
@@ -122,34 +162,59 @@ def characterization_set(machine: MealyMachine) -> List[Word]:
         # non-empty.
         return [(machine.inputs[0],)]
     w_set: List[Word] = []
+    signatures: Dict[Hashable, List] = {state: [] for state in states}
 
-    def signature(state: Hashable) -> Tuple:
-        return tuple(machine.run(word, state) for word in w_set)
+    def signature(state: Hashable) -> List:
+        outputs = signatures[state]
+        while len(outputs) < len(w_set):
+            outputs.append(machine.run(w_set[len(outputs)], state))
+        return outputs
 
     for i, state_a in enumerate(states):
         for state_b in states[i + 1:]:
             if signature(state_a) == signature(state_b):
-                w_set.append(_distinguishing_suffix(machine, state_a, state_b))
+                w_set.append(
+                    _distinguishing_suffix(machine, state_a, state_b, _suffix_cache)
+                )
     return w_set
 
 
-def identification_sets(machine: MealyMachine) -> Dict[Hashable, List[Word]]:
+def identification_sets(
+    machine: MealyMachine, *, _suffix_cache: Optional[Dict[frozenset, Word]] = None
+) -> Dict[Hashable, List[Word]]:
     """Return per-state identification sets ``W_s`` (for the Wp-method phase 2).
 
     ``W_s`` distinguishes ``s`` from every other state of the machine.
+
+    Output tails are memoised per ``(state, suffix)`` across the whole
+    construction — the same suffix separates many pairs, and without the
+    cache the pair scan re-runs it O(|S|²) times.  The returned sets are
+    unchanged.
     """
     states = list(machine.states)
     sets: Dict[Hashable, List[Word]] = {}
+    tails: Dict[Tuple[Hashable, Word], Tuple] = {}
+
+    def tail(word: Word, state: Hashable) -> Tuple:
+        key = (state, word)
+        answer = tails.get(key)
+        if answer is None:
+            answer = machine.run(word, state)
+            tails[key] = answer
+        return answer
+
     for state in states:
         suffixes: List[Word] = []
 
         def separated(other: Hashable) -> bool:
-            return any(machine.run(word, state) != machine.run(word, other) for word in suffixes)
+            return any(tail(word, state) != tail(word, other) for word in suffixes)
 
         for other in states:
             if other == state or separated(other):
                 continue
-            suffixes.append(_distinguishing_suffix(machine, state, other))
+            suffixes.append(
+                _distinguishing_suffix(machine, state, other, _suffix_cache)
+            )
         if not suffixes:
             suffixes.append((machine.inputs[0],))
         sets[state] = suffixes
@@ -176,7 +241,7 @@ def iter_w_method_suite(machine: MealyMachine, depth: int = 1) -> Iterator[Word]
     if depth < 0:
         raise LearningError(f"depth must be >= 0, got {depth}")
     prefixes = transition_cover(machine)
-    w_set = characterization_set(machine)
+    w_set = characterization_set(machine, _suffix_cache={})
 
     def generate() -> Iterator[Word]:
         seen: Set[Word] = set()
@@ -208,8 +273,8 @@ def iter_wp_method_suite(machine: MealyMachine, depth: int = 1) -> Iterator[Word
     if depth < 0:
         raise LearningError(f"depth must be >= 0, got {depth}")
     access = state_cover(machine)
-    w_set = characterization_set(machine)
-    ident = identification_sets(machine)
+    suffix_cache: Dict[frozenset, Word] = {}
+    w_set = characterization_set(machine, _suffix_cache=suffix_cache)
 
     def generate() -> Iterator[Word]:
         seen: Set[Word] = set()
@@ -224,6 +289,13 @@ def iter_wp_method_suite(machine: MealyMachine, depth: int = 1) -> Iterator[Word
                         yield word
 
         # Phase 2: transition cover x Sigma^{<=depth} x W_{target state}.
+        # The identification sets are built only when phase 2 actually
+        # starts: a conformance round whose counterexample surfaces in
+        # phase 1 never pays for them (the fail-fast minimality guarantee
+        # is unchanged — ``characterization_set`` above already raises on a
+        # non-minimal machine, and a machine it accepts cannot make
+        # ``identification_sets`` fail).
+        ident = identification_sets(machine, _suffix_cache=suffix_cache)
         for state in machine.states:
             base = access.get(state)
             if base is None:

@@ -212,6 +212,7 @@ class PolicyLearningPipeline:
             "rounds": result.rounds,
             "per_round_queries": list(result.per_round_queries),
             "learner_queries": result.learner_queries,
+            "learner_symbols": result.learner_symbols,
             "cache_hits": result.statistics.cache_hits,
             "batches": result.statistics.batches,
             "tests_skipped": result.statistics.tests_skipped,
@@ -222,6 +223,15 @@ class PolicyLearningPipeline:
             extra["kv_leaves_from_sifting"] = tree.leaves_from_sifting
             extra["kv_leaves_from_splits"] = tree.leaves_from_splits
             extra["kv_internal_refinements"] = tree.internal_refinements
+            extra["discriminator_lengths"] = tree.discriminator_lengths()
+            extra["max_discriminator_length"] = tree.max_discriminator_length
+        if getattr(tree, "finalization_shrinkage", None) is not None:
+            # TTT-specific refinement counters (see repro.learning.ttt).
+            extra["ttt_finalized_discriminators"] = tree.discriminators_finalized
+            extra["ttt_temporary_discriminators"] = tree.temporary_discriminators
+            extra["ttt_words_resifted_per_split"] = list(tree.words_resifted_per_split)
+            extra["ttt_finalization_shrinkage"] = list(tree.finalization_shrinkage)
+            extra["ttt_finalization_probe_words"] = tree.finalization_probe_words
         if self.resume:
             extra["resume"] = True
             extra["resumed_symbols"] = result.statistics.resumed_symbols

@@ -159,6 +159,61 @@ def test_kv_and_lstar_learn_bit_identical_machines(policy_name):
     assert kv_scalar.extra["kernel"] == "scalar"
 
 
+@pytest.mark.parametrize("policy_name", available_policies())
+def test_ttt_learns_bit_identical_machines(policy_name):
+    """The TTT differential axis: the refined tree learns the same machine.
+
+    Discriminator finalization and incremental sifting change *how* the
+    classification tree refines, never *what* is learned: every registry
+    policy learned by TTT must be bit-identical to the L* machine, at
+    workers 0 and 2 and under the forced scalar kernel, and the TTT
+    refinement counters must be reported and internally consistent.
+    """
+    exact = policy_name not in SLOW_EXACT
+    depth = EXACT_DEPTH.get(policy_name, 1) if exact else 1
+    policy = make_policy(policy_name, ASSOCIATIVITY)
+
+    lstar = learn_simulated_policy(policy, depth=depth, identify=False, learner="lstar")
+    ttt = learn_simulated_policy(
+        make_policy(policy_name, ASSOCIATIVITY), depth=depth, identify=False, learner="ttt"
+    )
+    assert ttt.machine == lstar.machine
+    assert ttt.extra["learner"] == "ttt"
+    assert (
+        ttt.extra["kv_leaves_from_sifting"] + ttt.extra["kv_leaves_from_splits"]
+        == ttt.num_states
+    )
+    # Every split left a discriminator behind, finalized or still temporary.
+    assert (
+        ttt.extra["ttt_finalized_discriminators"]
+        + ttt.extra["ttt_temporary_discriminators"]
+        == ttt.extra["kv_leaves_from_splits"]
+    )
+    assert len(ttt.extra["ttt_words_resifted_per_split"]) == ttt.extra[
+        "kv_leaves_from_splits"
+    ]
+
+    ttt_parallel = learn_simulated_policy(
+        make_policy(policy_name, ASSOCIATIVITY),
+        depth=depth,
+        identify=False,
+        learner="ttt",
+        workers=2,
+    )
+    assert ttt_parallel.machine == ttt.machine
+    assert ttt_parallel.extra["workers"] == 2
+
+    ttt_scalar = learn_simulated_policy(
+        make_policy(policy_name, ASSOCIATIVITY),
+        depth=depth,
+        identify=False,
+        learner="ttt",
+        kernel="scalar",
+    )
+    assert ttt_scalar.machine == ttt.machine
+    assert ttt_scalar.extra["kernel"] == "scalar"
+
+
 def test_parallel_run_reports_worker_accounting():
     """A configuration whose suite exceeds the learner's cache exercises the
     pool for real: chunks are shipped, and per-worker counts come back."""

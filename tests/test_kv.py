@@ -205,7 +205,10 @@ class TestEquivalentStatePair:
 #: children there is no longer probe for the trie to subsume them under —
 #: whereas L*'s longer suffix columns batch-subsume the same cells for free.
 #: The overhead is bounded by the fan-in of the split leaf (≤ |A| per split
-#: here); on everything larger KV's path-local probing wins outright.
+#: here); on everything larger KV's path-local probing wins outright.  The
+#: TTT refinement (``repro.learning.ttt``) removes this overhead at the
+#: source: its per-leaf residency map re-sifts only the words parked in the
+#: split subtree, so ``tests/test_ttt.py`` pins NRU with no allowance.
 KNOWN_SIFT_OVERHEAD = ("NRU",)
 
 

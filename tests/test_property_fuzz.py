@@ -33,6 +33,7 @@ from repro.core.mealy import MealyMachine
 from repro.learning.equivalence import ConformanceEquivalenceOracle
 from repro.learning.kv import KVLearner
 from repro.learning.learner import LearningResult, MealyLearner
+from repro.learning.ttt import TTTLearner
 from repro.learning.oracles import CachedMembershipOracle, MealyMachineOracle
 from repro.learning.parallel import MealyMachineOracleFactory, WorkerPool
 from repro.polca.algorithm import PolcaMembershipOracle
@@ -227,6 +228,40 @@ def _assert_kv_machine_differential(seed: int) -> None:
     assert parallel.counterexamples == kv.counterexamples
 
 
+def _learn_machine_ttt(machine: MealyMachine, workers: int = 1) -> LearningResult:
+    """Learn ``machine`` white-box with the TTT-refined tree learner."""
+    engine = CachedMembershipOracle(MealyMachineOracle(machine))
+    if workers > 1:
+        with WorkerPool(MealyMachineOracleFactory(machine), workers) as pool:
+            equivalence = ConformanceEquivalenceOracle(engine, depth=2, pool=pool)
+            learner = TTTLearner(machine.inputs, engine, equivalence, pool=pool)
+            return learner.learn()
+    equivalence = ConformanceEquivalenceOracle(engine, depth=2)
+    return TTTLearner(machine.inputs, engine, equivalence).learn()
+
+
+def _assert_ttt_machine_differential(seed: int) -> None:
+    """TTT on a seeded random machine: bit-identical to L*, replay-exact,
+    and invariant under a 2-worker pool — the finalization and incremental
+    sifting layers are refinement strategies, never observables."""
+    reference = _random_mealy(seed)
+    lstar = _learn_machine(reference)
+    ttt = _learn_machine_ttt(reference)
+
+    assert ttt.machine == lstar.machine, f"seed {seed}: TTT and L* machines diverged"
+    assert ttt.learner == "ttt"
+    assert ttt.machine.size == reference.size
+    for word in _replay_words(f"machine-{seed}", tuple(reference.inputs)):
+        assert ttt.machine.run(word) == reference.run(word), (
+            f"seed {seed}: TTT-learned machine disagrees with the reference on {word!r}"
+        )
+
+    parallel = _learn_machine_ttt(reference, workers=2)
+    assert parallel.machine == ttt.machine, f"seed {seed}: parallel TTT diverged"
+    assert parallel.rounds == ttt.rounds
+    assert parallel.counterexamples == ttt.counterexamples
+
+
 def _regression_machine(num_states: int, seed: int) -> MealyMachine:
     """The generator of PR 4's non-minimal-hypothesis repro (string outputs,
     no reachability pruning) — kept bit-compatible with test_learning's."""
@@ -259,6 +294,26 @@ def test_random_machine_parallel_learning_is_identical(seed):
 @pytest.mark.parametrize("seed", FAST_MACHINE_SEEDS)
 def test_random_machine_kv_learning_is_identical(seed):
     _assert_kv_machine_differential(seed)
+
+
+@pytest.mark.parametrize("seed", FAST_MACHINE_SEEDS)
+def test_random_machine_ttt_learning_is_identical(seed):
+    _assert_ttt_machine_differential(seed)
+
+
+def test_regression_seed_116_ttt_hypotheses_are_minimal():
+    """TTT inherits ``_stable_hypothesis``'s minimality repair from KV, and
+    the seed-116 machine must exercise it the same way: no hypothesis the
+    conformance tester sees triggers its minimize-and-warn fallback."""
+    reference = _regression_machine(8, seed=116).minimize()
+    assert reference.size == 8
+    engine = CachedMembershipOracle(MealyMachineOracle(reference))
+    equivalence = ConformanceEquivalenceOracle(engine, depth=2)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", RuntimeWarning)
+        result = TTTLearner(reference.inputs, engine, equivalence).learn()
+    assert result.machine.size == reference.size
+    assert reference.equivalent(result.machine)
 
 
 def test_regression_seed_116_kv_hypotheses_are_minimal(monkeypatch):
@@ -316,6 +371,12 @@ def test_random_machine_parallel_learning_is_identical_wide(seed):
 @pytest.mark.parametrize("seed", SLOW_MACHINE_SEEDS)
 def test_random_machine_kv_learning_is_identical_wide(seed):
     _assert_kv_machine_differential(seed)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", SLOW_MACHINE_SEEDS)
+def test_random_machine_ttt_learning_is_identical_wide(seed):
+    _assert_ttt_machine_differential(seed)
 
 
 @pytest.mark.slow
